@@ -1,0 +1,52 @@
+//! Shared machinery for the per-figure benches: each figure bench
+//! regenerates its series on a reduced sweep (printed to stdout, so
+//! `cargo bench` output contains the reproduced figure) and then times
+//! the underlying simulation for each composition algorithm.
+
+use criterion::Criterion;
+use rasc_bench::{paper_sweep, render_figure, Figure, SweepConfig};
+use rasc_core::compose::ComposerKind;
+use workload::{run_experiment, PaperSetup};
+
+/// A sweep small enough for bench startup but covering the full rate
+/// axis (the `repro` binary runs the full-size version).
+pub fn reduced_sweep() -> SweepConfig {
+    SweepConfig {
+        setup: PaperSetup {
+            requests: 12,
+            submit_window_secs: 20.0,
+            measure_secs: 40.0,
+            ..PaperSetup::default()
+        },
+        rates_kbps: vec![50.0, 100.0, 150.0, 200.0],
+        seeds: vec![1, 2],
+        config: Default::default(),
+    }
+}
+
+/// Prints the figure from a reduced sweep, then benchmarks the
+/// simulation that produces one cell of it, per algorithm.
+pub fn bench_figure(c: &mut Criterion, figure: Figure) {
+    let cells = paper_sweep(&reduced_sweep());
+    println!("\n{}", render_figure(figure, &cells));
+
+    let mut group = c.benchmark_group(format!("fig{}", figure.number()));
+    group.sample_size(10);
+    for kind in ComposerKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let setup = PaperSetup {
+                    requests: 8,
+                    submit_window_secs: 10.0,
+                    measure_secs: 20.0,
+                    avg_rate_kbps: 100.0,
+                    seed: 1,
+                    ..PaperSetup::default()
+                };
+                let out = run_experiment(&setup, kind);
+                criterion::black_box(figure.value(&out.report))
+            })
+        });
+    }
+    group.finish();
+}

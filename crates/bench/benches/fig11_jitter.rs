@@ -1,0 +1,13 @@
+//! Regenerates and times Figure 11 of the paper (see common.rs).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rasc_bench::Figure;
+
+fn bench(c: &mut Criterion) {
+    common::bench_figure(c, Figure::Jitter);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

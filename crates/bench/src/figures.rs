@@ -1,0 +1,228 @@
+//! Rendering sweep results as the paper's figures (ASCII tables + CSV).
+
+use crate::sweep::SweepCell;
+use rasc_core::compose::ComposerKind;
+use rasc_core::metrics::RunReport;
+
+/// Which figure of the paper a projection reproduces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Figure {
+    /// Fig. 6: number of successfully composed requests.
+    Composed,
+    /// Fig. 7: average end-to-end delay (ms).
+    Delay,
+    /// Fig. 8: fraction of data units delivered (not dropped).
+    Delivered,
+    /// Fig. 9: fraction of delivered units that were timely.
+    Timely,
+    /// Fig. 10: fraction of delivered units out of order.
+    OutOfOrder,
+    /// Fig. 11: average jitter (ms).
+    Jitter,
+}
+
+impl Figure {
+    /// All figures, in paper order.
+    pub const ALL: [Figure; 6] = [
+        Figure::Composed,
+        Figure::Delay,
+        Figure::Delivered,
+        Figure::Timely,
+        Figure::OutOfOrder,
+        Figure::Jitter,
+    ];
+
+    /// Paper figure number.
+    pub fn number(self) -> u32 {
+        match self {
+            Figure::Composed => 6,
+            Figure::Delay => 7,
+            Figure::Delivered => 8,
+            Figure::Timely => 9,
+            Figure::OutOfOrder => 10,
+            Figure::Jitter => 11,
+        }
+    }
+
+    /// The plotted y-axis label.
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Composed => "Number of serviced requests",
+            Figure::Delay => "Average end-to-end delay (ms)",
+            Figure::Delivered => "Fraction of delivered data units",
+            Figure::Timely => "Fraction of flawlessly delivered data units",
+            Figure::OutOfOrder => "Fraction of data units delivered out of order",
+            Figure::Jitter => "Average jitter (ms)",
+        }
+    }
+
+    /// Extracts this figure's y value from one run.
+    pub fn value(self, r: &RunReport) -> f64 {
+        match self {
+            Figure::Composed => r.composed as f64,
+            Figure::Delay => r.delay_ms.mean(),
+            Figure::Delivered => r.delivered_fraction(),
+            Figure::Timely => r.timely_fraction(),
+            Figure::OutOfOrder => r.out_of_order_fraction(),
+            Figure::Jitter => r.jitter_ms.mean(),
+        }
+    }
+
+    /// Parses a CLI figure name (`fig6`..`fig11`).
+    pub fn from_arg(arg: &str) -> Option<Figure> {
+        match arg {
+            "fig6" | "composed" => Some(Figure::Composed),
+            "fig7" | "delay" => Some(Figure::Delay),
+            "fig8" | "delivered" => Some(Figure::Delivered),
+            "fig9" | "timely" => Some(Figure::Timely),
+            "fig10" | "out-of-order" => Some(Figure::OutOfOrder),
+            "fig11" | "jitter" => Some(Figure::Jitter),
+            _ => None,
+        }
+    }
+}
+
+/// One algorithm's series across the rate axis for a figure.
+#[derive(Clone, Debug)]
+pub struct FigureSeries {
+    /// The algorithm.
+    pub composer: ComposerKind,
+    /// `(rate_kbps, mean, stddev)` per rate point.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Projects sweep cells into a figure's series (one per algorithm).
+pub fn project(figure: Figure, cells: &[SweepCell]) -> Vec<FigureSeries> {
+    ComposerKind::ALL
+        .iter()
+        .map(|&composer| {
+            let mut points: Vec<(f64, f64, f64)> = cells
+                .iter()
+                .filter(|c| c.composer == composer)
+                .map(|c| {
+                    (
+                        c.rate_kbps,
+                        c.mean(|r| figure.value(r)),
+                        c.stddev(|r| figure.value(r)),
+                    )
+                })
+                .collect();
+            points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            FigureSeries { composer, points }
+        })
+        .collect()
+}
+
+/// Renders one figure as an ASCII table plus CSV lines, mirroring the
+/// paper's "series per algorithm over the rate axis" format.
+pub fn render_figure(figure: Figure, cells: &[SweepCell]) -> String {
+    let series = project(figure, cells);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure {}: {}\n",
+        figure.number(),
+        figure.title()
+    ));
+    out.push_str(&format!("{:<22}", "rate (Kb/s)"));
+    for s in &series {
+        out.push_str(&format!("{:>18}", s.composer.label()));
+    }
+    out.push('\n');
+    let rates: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    for (i, &rate) in rates.iter().enumerate() {
+        out.push_str(&format!("{:<22}", format!("{rate:.0}")));
+        for s in &series {
+            let (_, mean, sd) = s.points[i];
+            out.push_str(&format!("{:>18}", format!("{mean:.3} ±{sd:.3}")));
+        }
+        out.push('\n');
+    }
+    out.push_str("csv,figure,rate_kbps");
+    for s in &series {
+        out.push_str(&format!(",{}", s.composer.label()));
+    }
+    out.push('\n');
+    for (i, &rate) in rates.iter().enumerate() {
+        out.push_str(&format!("csv,fig{},{rate:.0}", figure.number()));
+        for s in &series {
+            out.push_str(&format!(",{:.6}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(composer: ComposerKind, rate: f64, composed: u64) -> SweepCell {
+        let r = RunReport {
+            composed,
+            generated: 100,
+            delivered: 90,
+            timely: 80,
+            ..Default::default()
+        };
+        SweepCell {
+            composer,
+            rate_kbps: rate,
+            runs: vec![r],
+        }
+    }
+
+    fn cells() -> Vec<SweepCell> {
+        let mut v = Vec::new();
+        for &c in &ComposerKind::ALL {
+            for (i, &r) in [50.0, 100.0].iter().enumerate() {
+                v.push(cell(c, r, 10 + i as u64));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn projection_orders_by_rate() {
+        let series = project(Figure::Composed, &cells());
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert_eq!(s.points[0].0, 50.0);
+            assert_eq!(s.points[1].0, 100.0);
+            assert_eq!(s.points[0].1, 10.0);
+            assert_eq!(s.points[1].1, 11.0);
+        }
+    }
+
+    #[test]
+    fn figure_values_extract_expected_fields() {
+        let r = RunReport {
+            composed: 7,
+            generated: 100,
+            delivered: 50,
+            timely: 25,
+            out_of_order: 5,
+            ..Default::default()
+        };
+        assert_eq!(Figure::Composed.value(&r), 7.0);
+        assert_eq!(Figure::Delivered.value(&r), 0.5);
+        assert_eq!(Figure::Timely.value(&r), 0.5);
+        assert_eq!(Figure::OutOfOrder.value(&r), 0.1);
+    }
+
+    #[test]
+    fn render_contains_table_and_csv() {
+        let text = render_figure(Figure::Composed, &cells());
+        assert!(text.contains("Figure 6"));
+        assert!(text.contains("mincost"));
+        assert!(text.contains("csv,fig6,50"));
+    }
+
+    #[test]
+    fn arg_parsing_roundtrips() {
+        for f in Figure::ALL {
+            let arg = format!("fig{}", f.number());
+            assert_eq!(Figure::from_arg(&arg), Some(f));
+        }
+        assert_eq!(Figure::from_arg("nope"), None);
+    }
+}

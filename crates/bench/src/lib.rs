@@ -1,0 +1,12 @@
+//! Experiment harness for the RASC reproduction: sweeps, aggregation,
+//! and table rendering shared by the `repro` binary and the Criterion
+//! benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod sweep;
+
+pub use figures::{render_figure, Figure, FigureSeries};
+pub use sweep::{paper_sweep, SweepCell, SweepConfig};

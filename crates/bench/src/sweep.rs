@@ -1,0 +1,148 @@
+//! The full evaluation sweep: 3 algorithms × rate axis × seeds.
+//!
+//! One sweep produces the data for *all* of Figures 6–11 (the paper's
+//! figures are different projections of the same runs). Runs execute in
+//! parallel with rayon; each individual simulation stays single-threaded
+//! and deterministic in its seed.
+
+use rasc_core::compose::ComposerKind;
+use rasc_core::engine::EngineConfig;
+use rasc_core::metrics::RunReport;
+use rayon::prelude::*;
+use workload::{run_experiment_with, PaperSetup};
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Base scenario (rate and seed fields are overwritten per cell).
+    pub setup: PaperSetup,
+    /// The rate axis in Kb/s (paper: 50, 100, 150, 200).
+    pub rates_kbps: Vec<f64>,
+    /// Seeds to average over (paper: 5 runs).
+    pub seeds: Vec<u64>,
+    /// Engine overrides applied to every run (ablation hook).
+    pub config: EngineConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            setup: PaperSetup::default(),
+            rates_kbps: vec![50.0, 100.0, 150.0, 200.0],
+            seeds: vec![1, 2, 3, 4, 5],
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// One aggregated sweep cell: a (algorithm, rate) pair averaged over the
+/// seeds.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The composition algorithm.
+    pub composer: ComposerKind,
+    /// Average request rate in Kb/s.
+    pub rate_kbps: f64,
+    /// Per-seed raw reports.
+    pub runs: Vec<RunReport>,
+}
+
+impl SweepCell {
+    /// Mean of an arbitrary per-run statistic.
+    pub fn mean(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(&f).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Sample standard deviation of a per-run statistic.
+    pub fn stddev(&self, f: impl Fn(&RunReport) -> f64) -> f64 {
+        let n = self.runs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean(&f);
+        let var = self
+            .runs
+            .iter()
+            .map(|r| (f(r) - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Runs the full sweep: every algorithm at every rate with every seed.
+/// Cells come back ordered by (algorithm, rate).
+pub fn paper_sweep(cfg: &SweepConfig) -> Vec<SweepCell> {
+    let mut jobs = Vec::new();
+    for &composer in &ComposerKind::ALL {
+        for &rate in &cfg.rates_kbps {
+            jobs.push((composer, rate));
+        }
+    }
+    jobs.par_iter()
+        .map(|&(composer, rate)| {
+            let runs: Vec<RunReport> = cfg
+                .seeds
+                .par_iter()
+                .map(|&seed| {
+                    let mut setup = cfg.setup.clone();
+                    setup.avg_rate_kbps = rate;
+                    setup.seed = seed;
+                    run_experiment_with(&setup, composer, cfg.config.clone()).report
+                })
+                .collect();
+            SweepCell {
+                composer,
+                rate_kbps: rate,
+                runs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let cfg = SweepConfig {
+            setup: PaperSetup::small(0),
+            rates_kbps: vec![50.0, 100.0],
+            seeds: vec![1, 2],
+            config: EngineConfig::default(),
+        };
+        let cells = paper_sweep(&cfg);
+        assert_eq!(cells.len(), 3 * 2);
+        for c in &cells {
+            assert_eq!(c.runs.len(), 2);
+        }
+        // Ordering: mincost first, then random, then greedy.
+        assert_eq!(cells[0].composer, ComposerKind::MinCost);
+        assert_eq!(cells[2].composer, ComposerKind::Random);
+        assert_eq!(cells[4].composer, ComposerKind::Greedy);
+    }
+
+    #[test]
+    fn cell_statistics() {
+        let a = RunReport {
+            composed: 10,
+            ..Default::default()
+        };
+        let b = RunReport {
+            composed: 20,
+            ..Default::default()
+        };
+        let cell = SweepCell {
+            composer: ComposerKind::MinCost,
+            rate_kbps: 100.0,
+            runs: vec![a, b],
+        };
+        assert!((cell.mean(|r| r.composed as f64) - 15.0).abs() < 1e-12);
+        let sd = cell.stddev(|r| r.composed as f64);
+        assert!((sd - 7.0710678).abs() < 1e-6);
+    }
+}

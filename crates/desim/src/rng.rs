@@ -1,0 +1,355 @@
+//! A small deterministic PRNG with the distributions the simulations need.
+//!
+//! We implement xoshiro256++ (public-domain algorithm by Blackman & Vigna)
+//! seeded through SplitMix64, rather than pulling in a `rand` dependency at
+//! this layer: the kernel must guarantee bit-identical streams across
+//! platforms and crate-version bumps, since every experiment in the repo is
+//! keyed by a seed.
+//!
+//! The distribution set is intentionally small: uniform ints/floats,
+//! Bernoulli, exponential (Poisson arrivals), normal (Box–Muller), Pareto
+//! (heavy-tailed latencies/capacities), and weighted choice.
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second output of Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed. Any seed (including zero)
+    /// yields a well-mixed state via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// its own stream so adding draws in one place does not perturb others.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix a label in so forks with different labels diverge even when
+        // taken back-to-back.
+        let seed = self.next_u64() ^ label.wrapping_mul(0xA24BAED4963EE407);
+        SimRng::new(seed)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire rejection sampling.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with rate `lambda` (mean `1/lambda`).
+    pub fn exp(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        // Avoid ln(0); f64() is in [0,1), so 1-f64() is in (0,1].
+        -(1.0 - self.f64()).ln() / lambda
+    }
+
+    /// Normally distributed value via Box–Muller (mean/stddev parameters).
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        assert!(stddev >= 0.0, "negative stddev");
+        if let Some(z) = self.gauss_spare.take() {
+            return mean + stddev * z;
+        }
+        // Box–Muller transform.
+        let u1 = 1.0 - self.f64(); // (0, 1]
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let (sin, cos) = theta.sin_cos();
+        self.gauss_spare = Some(r * sin);
+        mean + stddev * r * cos
+    }
+
+    /// Pareto-distributed value with scale `x_m > 0` and shape `alpha > 0`.
+    /// Heavy-tailed; models wide-area latencies and capacity skew.
+    pub fn pareto(&mut self, x_m: f64, alpha: f64) -> f64 {
+        assert!(x_m > 0.0 && alpha > 0.0, "invalid pareto parameters");
+        x_m / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Log-normal: `exp(normal(mu, sigma))`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Picks an index with probability proportional to `weights[i]`.
+    /// Panics if the weights are empty or sum to a non-positive value.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        assert!(total > 0.0, "weights must have positive mass");
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        // Floating-point slack: fall back to the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive weight exists")
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (reservoir-free partial
+    /// Fisher–Yates). Panics if `k > n`. Result order is random.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range_usize(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut r = SimRng::new(0);
+        let first: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(first.iter().any(|&x| x != 0));
+        // No duplicate among the first few outputs.
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), first.len());
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let mut parent = SimRng::new(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::new(4);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+        }
+        // Single-element range.
+        assert_eq!(r.range_u64(5, 6), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::new(0).range_u64(5, 5);
+    }
+
+    #[test]
+    fn uniform_mean_close() {
+        let mut r = SimRng::new(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::new(6);
+        let lambda = 4.0;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exp(lambda)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::new(7);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::new(8);
+        for _ in 0..10_000 {
+            assert!(r.pareto(2.0, 3.0) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_matches_weights() {
+        let mut r = SimRng::new(9);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[r.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(10);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left input sorted (astronomically unlikely)");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = SimRng::new(11);
+        let s = r.sample_indices(50, 10);
+        assert_eq!(s.len(), 10);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 10);
+        assert!(s.iter().all(|&i| i < 50));
+        // Edge cases.
+        assert!(r.sample_indices(5, 0).is_empty());
+        let all = r.sample_indices(5, 5);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(12);
+        assert!(!(0..1000).any(|_| r.chance(0.0)));
+        assert!((0..1000).all(|_| r.chance(1.0)));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the simulation kernel: the event queue against a
+//! reference model, and distribution sanity for the RNG.
+
+use desim::{EventQueue, SimRng, SimTime};
+use proptest::prelude::*;
+
+/// Operations applied to both the real queue and a reference model.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule(u64),
+    Pop,
+    CancelNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..10_000).prop_map(Op::Schedule),
+        Just(Op::Pop),
+        (0usize..64).prop_map(Op::CancelNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The queue behaves exactly like a sorted reference model under an
+    /// arbitrary interleaving of schedules, pops, and cancellations.
+    #[test]
+    fn queue_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut queue = EventQueue::new();
+        // Reference: (time, seq, payload, cancelled)
+        let mut model: Vec<(SimTime, u64, u64, bool)> = Vec::new();
+        let mut handles = Vec::new();
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    let at = SimTime::from_micros(t);
+                    let h = queue.schedule(at, seq);
+                    handles.push(h);
+                    model.push((at, seq, seq, false));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expected = model
+                        .iter()
+                        .filter(|e| !e.3)
+                        .min_by_key(|e| (e.0, e.1))
+                        .map(|e| (e.0, e.2));
+                    let got = queue.pop();
+                    prop_assert_eq!(got, expected);
+                    if let Some((_, payload)) = expected {
+                        let idx = model.iter().position(|e| e.2 == payload).unwrap();
+                        model.remove(idx);
+                    }
+                }
+                Op::CancelNth(i) => {
+                    if i < handles.len() {
+                        let was_live = model.iter().any(|e| e.1 == i as u64 && !e.3);
+                        let ok = queue.cancel(handles[i]);
+                        if was_live {
+                            prop_assert!(ok);
+                            if let Some(e) = model.iter_mut().find(|e| e.1 == i as u64) {
+                                e.3 = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Drain: remaining events pop in (time, seq) order.
+        let mut rest: Vec<(SimTime, u64)> = model
+            .iter()
+            .filter(|e| !e.3)
+            .map(|e| (e.0, e.2))
+            .collect();
+        rest.sort_by_key(|&(t, s)| (t, s));
+        for expected in rest {
+            prop_assert_eq!(queue.pop(), Some(expected));
+        }
+        prop_assert_eq!(queue.pop(), None);
+    }
+
+    /// Uniform range draws stay in bounds and hit both halves.
+    #[test]
+    fn rng_range_unbiased_enough(seed in any::<u64>(), lo in 0u64..1000, span in 2u64..1000) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + span;
+        let mid = lo + span / 2;
+        let mut low_half = 0u32;
+        for _ in 0..200 {
+            let x = rng.range_u64(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+            if x < mid {
+                low_half += 1;
+            }
+        }
+        // Loose: binomial(200, ~0.5) essentially never leaves [40, 160].
+        prop_assert!((40..=160).contains(&low_half), "low_half = {}", low_half);
+    }
+
+    /// Forked streams never mirror their parent.
+    #[test]
+    fn rng_forks_diverge(seed in any::<u64>(), label in any::<u64>()) {
+        let mut parent = SimRng::new(seed);
+        let mut probe = SimRng::new(seed);
+        let mut child = parent.fork(label);
+        // Skip the draw fork() consumed.
+        let _ = probe.next_u64();
+        let matches = (0..64).filter(|_| child.next_u64() == probe.next_u64()).count();
+        prop_assert!(matches < 8, "fork mirrors parent: {} matches", matches);
+    }
+
+    /// Shuffling preserves multisets.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), mut v in proptest::collection::vec(0u32..100, 0..50)) {
+        let mut rng = SimRng::new(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+}

@@ -1,0 +1,355 @@
+//! Capacity-scaling successive shortest paths (Edmonds & Karp — the
+//! paper's reference [7]: "Theoretical improvements in algorithmic
+//! efficiency for network flow problems", J. ACM 19(2), 1972).
+//!
+//! Plain SSP may perform `O(F)` augmentations (one per unit in the worst
+//! case). Capacity scaling processes augmentations in phases of
+//! decreasing scale `Δ`: within a phase only residual arcs of capacity
+//! ≥ Δ are considered, so every augmentation moves at least Δ units and
+//! the number of augmentations is `O(m log U)`.
+//!
+//! One subtlety: restricting arcs below Δ means a phase can leave flow
+//! that is *not* minimum-cost with respect to the full residual graph —
+//! small cheap arcs plus freshly created reverse arcs may even form
+//! negative residual cycles. At every phase boundary we therefore (a)
+//! cancel any negative residual cycles (Klein's step) and then (b)
+//! recompute exact potentials over the full graph with Bellman–Ford, so
+//! the next phase's Dijkstra sees valid reduced costs. The Δ = 1 phase
+//! is then plain SSP and terminates with an exactly optimal flow.
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::{Infeasible, Solution};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const INF: i64 = i64::MAX / 4;
+
+/// Capacity-scaling min-cost flow solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CapacityScaling;
+
+impl CapacityScaling {
+    /// Routes up to `target` units from `source` to `sink` at minimum
+    /// cost. Same contract as [`crate::SspSolver::solve`].
+    pub fn solve(
+        &self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        target: i64,
+    ) -> Result<Solution, Infeasible> {
+        assert!(target >= 0, "negative flow target");
+        assert!(source < net.num_nodes() && sink < net.num_nodes());
+        if source == sink || target == 0 {
+            return Ok(Solution { flow: 0, cost: 0 });
+        }
+        let n = net.num_nodes();
+        let max_cap = net
+            .arcs
+            .iter()
+            .map(|a| a.cap)
+            .max()
+            .unwrap_or(0)
+            .min(target);
+        if max_cap <= 0 {
+            return Err(Infeasible {
+                max_flow: 0,
+                cost: 0,
+            });
+        }
+        // Largest power of two ≤ min(max capacity, target).
+        let mut delta = 1i64 << (63 - max_cap.leading_zeros() as i64);
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        let mut pot = vec![0i64; n];
+        let mut dist = vec![INF; n];
+        let mut prev_arc = vec![usize::MAX; n];
+
+        while delta >= 1 {
+            // Phase boundary: restore global optimality of the current
+            // flow, then re-anchor potentials against the FULL residual
+            // graph so the Δ-restricted Dijkstra's reduced costs stay
+            // non-negative.
+            cost += cancel_negative_cycles(net);
+            bellman_ford_full(net, source, &mut pot);
+            loop {
+                if flow >= target {
+                    // The last augmentation may have used a Δ-restricted
+                    // (suboptimal) path; cancelling residual cycles
+                    // restores exact optimality without changing the
+                    // flow value (cycles are circulations).
+                    cost += cancel_negative_cycles(net);
+                    return Ok(Solution { flow, cost });
+                }
+                if !dijkstra_delta(net, source, delta, &pot, &mut dist, &mut prev_arc)
+                    || dist[sink] >= INF
+                {
+                    break;
+                }
+                for v in 0..n {
+                    if dist[v] < INF {
+                        pot[v] += dist[v];
+                    }
+                }
+                // Bottleneck ≥ Δ by construction, capped by demand.
+                let mut bottleneck = target - flow;
+                let mut v = sink;
+                while v != source {
+                    let a = prev_arc[v];
+                    bottleneck = bottleneck.min(net.arcs[a].cap);
+                    v = net.arcs[a ^ 1].to;
+                }
+                debug_assert!(bottleneck >= delta.min(target - flow));
+                let mut v = sink;
+                let mut path_cost = 0i64;
+                while v != source {
+                    let a = prev_arc[v];
+                    path_cost += net.arcs[a].cost;
+                    net.push(a, bottleneck);
+                    v = net.arcs[a ^ 1].to;
+                }
+                flow += bottleneck;
+                cost += bottleneck * path_cost;
+            }
+            delta /= 2;
+        }
+        cost += cancel_negative_cycles(net);
+        if flow == target {
+            Ok(Solution { flow, cost })
+        } else {
+            Err(Infeasible {
+                max_flow: flow,
+                cost,
+            })
+        }
+    }
+}
+
+/// Dijkstra over reduced costs, ignoring residual arcs below `delta`.
+fn dijkstra_delta(
+    net: &FlowNetwork,
+    source: NodeId,
+    delta: i64,
+    pot: &[i64],
+    dist: &mut [i64],
+    prev_arc: &mut [usize],
+) -> bool {
+    dist.fill(INF);
+    prev_arc.fill(usize::MAX);
+    dist[source] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0i64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &a in &net.adj[u] {
+            let arc = &net.arcs[a];
+            if arc.cap < delta {
+                continue;
+            }
+            let rc = arc.cost + pot[u] - pot[arc.to];
+            debug_assert!(rc >= 0, "negative reduced cost {rc} in Δ-phase");
+            let nd = d + rc;
+            if nd < dist[arc.to] {
+                dist[arc.to] = nd;
+                prev_arc[arc.to] = a;
+                heap.push(Reverse((nd, arc.to)));
+            }
+        }
+    }
+    true
+}
+
+/// Cancels every negative-cost cycle in the residual graph by pushing
+/// the bottleneck around it (Klein's algorithm step). Returns the total
+/// cost change (≤ 0).
+fn cancel_negative_cycles(net: &mut FlowNetwork) -> i64 {
+    let n = net.num_nodes();
+    let mut total_delta = 0i64;
+    loop {
+        // Bellman–Ford from a virtual source connected to every node.
+        let mut dist = vec![0i64; n];
+        let mut pred = vec![usize::MAX; n];
+        let mut cycle_entry = None;
+        for round in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                for &a in &net.adj[u] {
+                    let arc = &net.arcs[a];
+                    if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                        dist[arc.to] = dist[u] + arc.cost;
+                        pred[arc.to] = a;
+                        changed = true;
+                        if round == n - 1 {
+                            cycle_entry = Some(arc.to);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return total_delta;
+            }
+        }
+        let Some(mut v) = cycle_entry else {
+            return total_delta;
+        };
+        // Walk back n steps to land inside the cycle, then extract it.
+        for _ in 0..n {
+            v = net.arcs[pred[v] ^ 1].to;
+        }
+        let start = v;
+        let mut arcs = Vec::new();
+        loop {
+            let a = pred[v];
+            arcs.push(a);
+            v = net.arcs[a ^ 1].to;
+            if v == start {
+                break;
+            }
+        }
+        let bottleneck = arcs.iter().map(|&a| net.arcs[a].cap).min().unwrap();
+        debug_assert!(bottleneck > 0);
+        let cycle_cost: i64 = arcs.iter().map(|&a| net.arcs[a].cost).sum();
+        debug_assert!(cycle_cost < 0, "walked a non-negative cycle");
+        for &a in &arcs {
+            net.push(a, bottleneck);
+        }
+        total_delta += cycle_cost * bottleneck;
+    }
+}
+
+/// Bellman–Ford over the full residual graph (all arcs with `cap > 0`),
+/// writing exact distances into `pot` (unreachable nodes keep 0).
+fn bellman_ford_full(net: &FlowNetwork, source: NodeId, pot: &mut [i64]) {
+    let n = net.num_nodes();
+    let mut dist = vec![INF; n];
+    dist[source] = 0;
+    for _ in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            if dist[u] >= INF {
+                continue;
+            }
+            for &a in &net.adj[u] {
+                let arc = &net.arcs[a];
+                if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                    dist[arc.to] = dist[u] + arc.cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for v in 0..n {
+        pot[v] = if dist[v] < INF { dist[v] } else { 0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp::{SspSolver, SspVariant};
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10, 5);
+        let sol = CapacityScaling.solve(&mut net, 0, 1, 7).unwrap();
+        assert_eq!(sol, Solution { flow: 7, cost: 35 });
+    }
+
+    #[test]
+    fn splits_optimally() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 4, 1);
+        net.add_edge(1, 3, 4, 1);
+        net.add_edge(0, 2, 10, 10);
+        net.add_edge(2, 3, 10, 10);
+        let sol = CapacityScaling.solve(&mut net, 0, 3, 6).unwrap();
+        assert_eq!(sol.flow, 6);
+        assert_eq!(sol.cost, 4 * 2 + 2 * 20);
+    }
+
+    #[test]
+    fn infeasible_reports_max() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 3, 1);
+        net.add_edge(1, 2, 2, 1);
+        let err = CapacityScaling.solve(&mut net, 0, 2, 5).unwrap_err();
+        assert_eq!(err.max_flow, 2);
+        assert_eq!(err.cost, 4);
+    }
+
+    #[test]
+    fn wide_capacity_spread_exercises_phases() {
+        // Capacities spanning 1..=1024 force ~10 scaling phases.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 1024, 1);
+        net.add_edge(1, 5, 1000, 2);
+        net.add_edge(0, 2, 128, 1);
+        net.add_edge(2, 5, 100, 3);
+        net.add_edge(0, 3, 16, 1);
+        net.add_edge(3, 5, 10, 4);
+        net.add_edge(0, 4, 2, 1);
+        net.add_edge(4, 5, 1, 50);
+        let mut reference = net.clone();
+        let a = CapacityScaling.solve(&mut net, 0, 5, 1111).unwrap();
+        let b = SspSolver::new(SspVariant::Dijkstra)
+            .solve(&mut reference, 0, 5, 1111)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn agrees_with_ssp_on_random_grids() {
+        let build = |seed: u64| {
+            let mut net = FlowNetwork::new(16);
+            let mut x = seed | 1;
+            let mut rnd = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for r in 0..4usize {
+                for c in 0..4usize {
+                    let v = r * 4 + c;
+                    if c + 1 < 4 {
+                        net.add_edge(v, v + 1, (rnd() % 100 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                    if r + 1 < 4 {
+                        net.add_edge(v, v + 4, (rnd() % 100 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                }
+            }
+            net
+        };
+        for seed in [3, 99, 1234] {
+            for target in [1i64, 17, 60, 250] {
+                let mut a = build(seed);
+                let mut b = build(seed);
+                let ra = CapacityScaling.solve(&mut a, 0, 15, target);
+                let rb = SspSolver::new(SspVariant::Dijkstra).solve(&mut b, 0, 15, target);
+                match (ra, rb) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed} target {target}"),
+                    (Err(x), Err(y)) => {
+                        assert_eq!(x.max_flow, y.max_flow, "seed {seed} target {target}");
+                        assert_eq!(x.cost, y.cost, "seed {seed} target {target}");
+                    }
+                    other => panic!("disagreement at seed {seed} target {target}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_graph_is_infeasible() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 0, 1);
+        let err = CapacityScaling.solve(&mut net, 0, 1, 1).unwrap_err();
+        assert_eq!(err.max_flow, 0);
+    }
+}

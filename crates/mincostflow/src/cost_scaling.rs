@@ -1,0 +1,289 @@
+//! Goldberg's cost-scaling push–relabel algorithm for min-cost flow
+//! (paper reference [11]: Goldberg, "An efficient implementation of a
+//! scaling minimum-cost flow algorithm", J. Algorithms 22(1), 1997).
+//!
+//! The flow-value problem is reduced to a min-cost *circulation* by adding
+//! a temporary `sink → source` super-arc with capacity equal to the target
+//! and a cost negative enough (below any simple path's total) that the
+//! optimal circulation routes as much flow as possible through it. The
+//! circulation is then solved by ε-scaling: costs are multiplied by `n` so
+//! that a 1/n-optimal flow in the original costs — reached when `ε < 1` in
+//! scaled costs — is exactly optimal.
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::{Infeasible, Solution};
+use std::collections::VecDeque;
+
+/// Cost-scaling min-cost flow solver.
+///
+/// `alpha` is the scaling factor by which ε shrinks between refine phases;
+/// Goldberg reports small constants (2–16) all work well.
+#[derive(Clone, Copy, Debug)]
+pub struct CostScaling {
+    alpha: i64,
+}
+
+impl Default for CostScaling {
+    fn default() -> Self {
+        CostScaling { alpha: 4 }
+    }
+}
+
+impl CostScaling {
+    /// Creates a solver with a custom scaling factor (must be ≥ 2).
+    pub fn with_alpha(alpha: i64) -> Self {
+        assert!(alpha >= 2, "scaling factor must be at least 2");
+        CostScaling { alpha }
+    }
+
+    /// Routes up to `target` units from `source` to `sink` at minimum cost.
+    /// Same contract as [`crate::SspSolver::solve`].
+    pub fn solve(
+        &self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        target: i64,
+    ) -> Result<Solution, Infeasible> {
+        assert!(target >= 0, "negative flow target");
+        assert!(source < net.num_nodes() && sink < net.num_nodes());
+        if source == sink || target == 0 {
+            return Ok(Solution { flow: 0, cost: 0 });
+        }
+        // Super-arc cost: strictly below minus the most expensive simple
+        // path, so maximizing super-arc flow dominates all routing costs.
+        let cost_mag: i64 = net
+            .edges()
+            .map(|e| net.cost(e).abs())
+            .sum::<i64>()
+            .max(1);
+        let super_cost = -(cost_mag + 1);
+        let super_edge = net.add_edge(sink, source, target, super_cost);
+
+        run_circulation(net, self.alpha);
+
+        let flow = net.flow_on(super_edge);
+        net.pop_last_edge();
+        let cost = net.total_cost();
+        if flow == target {
+            Ok(Solution { flow, cost })
+        } else {
+            Err(Infeasible {
+                max_flow: flow,
+                cost,
+            })
+        }
+    }
+}
+
+/// Solves min-cost circulation on `net` in place by cost scaling.
+fn run_circulation(net: &mut FlowNetwork, alpha: i64) {
+    let n = net.num_nodes() as i64;
+    // Scale costs by n: ε < 1 in scaled costs ⇒ exact optimality.
+    let scale = n;
+    let mut eps: i64 = net
+        .arcs
+        .iter()
+        .map(|a| (a.cost * scale).abs())
+        .max()
+        .unwrap_or(0);
+    if eps == 0 {
+        return; // All costs zero: any circulation (zero flow) is optimal.
+    }
+    let mut price = vec![0i64; net.num_nodes()];
+    loop {
+        refine(net, scale, eps, &mut price);
+        if eps == 1 {
+            break;
+        }
+        eps = (eps / alpha).max(1);
+    }
+}
+
+/// One ε-refinement phase: make the current pseudoflow ε-optimal.
+fn refine(net: &mut FlowNetwork, scale: i64, eps: i64, price: &mut [i64]) {
+    let n = net.num_nodes();
+    let mut excess = vec![0i64; n];
+
+    // Saturate every residual arc with negative reduced cost.
+    for a in 0..net.arcs.len() {
+        let (from, to, cap, cost) = {
+            let arc = &net.arcs[a];
+            (net.arcs[a ^ 1].to, arc.to, arc.cap, arc.cost * scale)
+        };
+        if cap > 0 && cost + price[from] - price[to] < 0 {
+            net.push(a, cap);
+            excess[from] -= cap;
+            excess[to] += cap;
+        }
+    }
+
+    // FIFO discharge of active nodes with a current-arc pointer.
+    let mut current = vec![0usize; n];
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| excess[v] > 0).collect();
+    let mut in_queue = vec![false; n];
+    for &v in &queue {
+        in_queue[v] = true;
+    }
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        while excess[u] > 0 {
+            if current[u] == net.adj[u].len() {
+                // Relabel: lower u's price the minimal amount that creates
+                // an admissible arc, preserving ε-optimality.
+                let mut best = i64::MIN;
+                for &a in &net.adj[u] {
+                    let arc = &net.arcs[a];
+                    if arc.cap > 0 {
+                        best = best.max(price[arc.to] - arc.cost * scale);
+                    }
+                }
+                debug_assert!(
+                    best > i64::MIN,
+                    "active node without residual arcs cannot exist"
+                );
+                price[u] = best - eps;
+                current[u] = 0;
+                continue;
+            }
+            let a = net.adj[u][current[u]];
+            let (to, cap, cost) = {
+                let arc = &net.arcs[a];
+                (arc.to, arc.cap, arc.cost * scale)
+            };
+            if cap > 0 && cost + price[u] - price[to] < 0 {
+                let amount = excess[u].min(cap);
+                net.push(a, amount);
+                excess[u] -= amount;
+                excess[to] += amount;
+                if excess[to] > 0 && !in_queue[to] && to != u {
+                    in_queue[to] = true;
+                    queue.push_back(to);
+                }
+            } else {
+                current[u] += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp::{SspSolver, SspVariant};
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10, 5);
+        let sol = CostScaling::default().solve(&mut net, 0, 1, 7).unwrap();
+        assert_eq!(sol, Solution { flow: 7, cost: 35 });
+    }
+
+    #[test]
+    fn splits_across_parallel_routes() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 4, 1);
+        net.add_edge(1, 3, 4, 1);
+        net.add_edge(0, 2, 10, 10);
+        net.add_edge(2, 3, 10, 10);
+        let sol = CostScaling::default().solve(&mut net, 0, 3, 6).unwrap();
+        assert_eq!(sol.flow, 6);
+        assert_eq!(sol.cost, 4 * 2 + 2 * 20);
+    }
+
+    #[test]
+    fn infeasible_routes_max_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 3, 1);
+        net.add_edge(1, 2, 2, 1);
+        let err = CostScaling::default().solve(&mut net, 0, 2, 5).unwrap_err();
+        assert_eq!(err.max_flow, 2);
+        assert_eq!(err.cost, 4);
+    }
+
+    #[test]
+    fn zero_cost_network() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 0);
+        net.add_edge(1, 2, 5, 0);
+        let sol = CostScaling::default().solve(&mut net, 0, 2, 5).unwrap();
+        assert_eq!(sol, Solution { flow: 5, cost: 0 });
+    }
+
+    #[test]
+    fn negative_costs_handled() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5, -2);
+        net.add_edge(1, 3, 5, 1);
+        net.add_edge(0, 2, 5, 1);
+        net.add_edge(2, 3, 5, 1);
+        let sol = CostScaling::default().solve(&mut net, 0, 3, 8).unwrap();
+        assert_eq!(sol.flow, 8);
+        assert_eq!(sol.cost, -5 + 3 * 2);
+    }
+
+    #[test]
+    fn agrees_with_ssp_on_grid() {
+        // A 4x4 grid with deterministic pseudo-random caps/costs.
+        let build = || {
+            let mut net = FlowNetwork::new(16);
+            let mut x: u64 = 0xDEADBEEF;
+            let mut rnd = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for r in 0..4usize {
+                for c in 0..4usize {
+                    let v = r * 4 + c;
+                    if c + 1 < 4 {
+                        net.add_edge(v, v + 1, (rnd() % 9 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                    if r + 1 < 4 {
+                        net.add_edge(v, v + 4, (rnd() % 9 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                }
+            }
+            net
+        };
+        for target in [1, 3, 7] {
+            let mut a = build();
+            let mut b = build();
+            let sa = SspSolver::new(SspVariant::Dijkstra).solve(&mut a, 0, 15, target);
+            let sb = CostScaling::default().solve(&mut b, 0, 15, target);
+            match (sa, sb) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "target {target}"),
+                (Err(x), Err(y)) => {
+                    assert_eq!(x.max_flow, y.max_flow, "target {target}");
+                    assert_eq!(x.cost, y.cost, "target {target}");
+                }
+                other => panic!("solver disagreement at target {target}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_variants_agree() {
+        for alpha in [2, 8, 16] {
+            let mut net = FlowNetwork::new(4);
+            net.add_edge(0, 1, 4, 3);
+            net.add_edge(1, 3, 4, 3);
+            net.add_edge(0, 2, 9, 5);
+            net.add_edge(2, 3, 9, 5);
+            let sol = CostScaling::with_alpha(alpha)
+                .solve(&mut net, 0, 3, 10)
+                .unwrap();
+            assert_eq!(sol.flow, 10);
+            assert_eq!(sol.cost, 4 * 6 + 6 * 10, "alpha {alpha}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn alpha_below_two_rejected() {
+        CostScaling::with_alpha(1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Dinic's max-flow algorithm.
+//!
+//! Used by RASC as a fast feasibility pre-check ("can this substream's rate
+//! be carried at all?") before the min-cost solve, and by the validators as
+//! an independent oracle for maximum routable flow.
+
+use crate::network::{FlowNetwork, NodeId};
+use std::collections::VecDeque;
+
+/// Computes a maximum flow from `source` to `sink`, bounded by `limit`
+/// (pass `i64::MAX` for the true max flow). Flows are installed in `net`;
+/// the return value is the total routed.
+pub fn dinic_max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId, limit: i64) -> i64 {
+    assert!(source < net.num_nodes() && sink < net.num_nodes());
+    if source == sink || limit <= 0 {
+        return 0;
+    }
+    let n = net.num_nodes();
+    let mut level = vec![u32::MAX; n];
+    let mut iter = vec![0usize; n];
+    let mut total = 0i64;
+
+    while total < limit {
+        // BFS: build level graph.
+        level.fill(u32::MAX);
+        level[source] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(source);
+        while let Some(u) = q.pop_front() {
+            for &a in &net.adj[u] {
+                let arc = &net.arcs[a];
+                if arc.cap > 0 && level[arc.to] == u32::MAX {
+                    level[arc.to] = level[u] + 1;
+                    q.push_back(arc.to);
+                }
+            }
+        }
+        if level[sink] == u32::MAX {
+            break;
+        }
+        // DFS blocking flow with the current-arc optimization.
+        iter.fill(0);
+        loop {
+            let pushed = dfs(net, source, sink, limit - total, &level, &mut iter);
+            if pushed == 0 {
+                break;
+            }
+            total += pushed;
+            if total >= limit {
+                break;
+            }
+        }
+    }
+    total
+}
+
+fn dfs(
+    net: &mut FlowNetwork,
+    u: NodeId,
+    sink: NodeId,
+    up_to: i64,
+    level: &[u32],
+    iter: &mut [usize],
+) -> i64 {
+    if u == sink {
+        return up_to;
+    }
+    while iter[u] < net.adj[u].len() {
+        let a = net.adj[u][iter[u]];
+        let (to, cap) = {
+            let arc = &net.arcs[a];
+            (arc.to, arc.cap)
+        };
+        if cap > 0 && level[to] == level[u] + 1 {
+            let d = dfs(net, to, sink, up_to.min(cap), level, iter);
+            if d > 0 {
+                net.push(a, d);
+                return d;
+            }
+        }
+        iter[u] += 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4, 0);
+        net.add_edge(1, 2, 7, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 2, i64::MAX), 4);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10, 0);
+        net.add_edge(0, 2, 10, 0);
+        net.add_edge(1, 3, 10, 0);
+        net.add_edge(2, 3, 10, 0);
+        net.add_edge(1, 2, 1, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 3, i64::MAX), 20);
+    }
+
+    #[test]
+    fn respects_limit() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 100, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 1, 30), 30);
+        assert_eq!(net.flow_on(e), 30);
+    }
+
+    #[test]
+    fn zero_when_disconnected() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 2, i64::MAX), 0);
+    }
+
+    #[test]
+    fn source_equals_sink_is_zero() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 0, i64::MAX), 0);
+    }
+
+    #[test]
+    fn needs_rerouting_through_residuals() {
+        // The textbook case where a greedy augmenting path must be undone
+        // via the residual arc of the middle edge.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 0);
+        net.add_edge(0, 2, 1, 0);
+        net.add_edge(1, 2, 1, 0);
+        net.add_edge(1, 3, 1, 0);
+        net.add_edge(2, 3, 1, 0);
+        assert_eq!(dinic_max_flow(&mut net, 0, 3, i64::MAX), 2);
+    }
+
+    #[test]
+    fn wide_bipartite() {
+        // 5 sources fan into 5 sinks through unit edges: perfect matching.
+        let mut net = FlowNetwork::new(12);
+        for i in 0..5 {
+            net.add_edge(0, 1 + i, 1, 0);
+            net.add_edge(6 + i, 11, 1, 0);
+        }
+        for i in 0..5 {
+            for j in 0..5 {
+                net.add_edge(1 + i, 6 + j, 1, 0);
+            }
+        }
+        assert_eq!(dinic_max_flow(&mut net, 0, 11, i64::MAX), 5);
+    }
+}

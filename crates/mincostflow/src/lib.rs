@@ -1,0 +1,158 @@
+//! Minimum-cost flow solvers for RASC's rate-splitting composition.
+//!
+//! RASC (paper §3.5) reduces per-substream component selection + rate
+//! assignment to a minimum-cost flow problem: edge capacities encode the
+//! maximum ingest rate of candidate hosts, edge costs encode their observed
+//! drop ratios, and the required flow value is the substream's rate
+//! requirement. This crate implements that machinery from scratch:
+//!
+//! * [`FlowNetwork`] — a residual-graph representation with integer
+//!   capacities and costs,
+//! * [`SspSolver`] — successive shortest paths, in two variants: SPFA
+//!   (Bellman–Ford queue; reference implementation, handles negative costs)
+//!   and Dijkstra with Johnson potentials (the fast path, the paper's
+//!   references [7, 10]),
+//! * [`CostScaling`] — Goldberg's cost-scaling push–relabel algorithm
+//!   (reference [11]),
+//! * [`CapacityScaling`] — Edmonds–Karp capacity-scaling SSP with
+//!   phase-boundary cycle cancellation (reference [7]),
+//! * [`dinic_max_flow`] — Dinic's max-flow for feasibility pre-checks,
+//! * [`validate`] — independent certification of feasibility and optimality
+//!   (flow conservation, capacity bounds, no negative residual cycle).
+//!
+//! All quantities are `i64`. Callers working in fractional rates scale to
+//! integer units (RASC uses milli-data-units/second) before solving.
+//!
+//! # Example
+//!
+//! ```
+//! use mincostflow::{FlowNetwork, SspSolver, SspVariant};
+//!
+//! // Two parallel routes from 0 to 3; the cheap one has limited capacity,
+//! // so an optimal flow of 15 splits 10 cheap + 5 expensive.
+//! let mut net = FlowNetwork::new(4);
+//! let cheap_a = net.add_edge(0, 1, 10, 1);
+//! let cheap_b = net.add_edge(1, 3, 10, 1);
+//! let dear_a = net.add_edge(0, 2, 20, 4);
+//! let dear_b = net.add_edge(2, 3, 20, 4);
+//! let sol = SspSolver::new(SspVariant::Dijkstra)
+//!     .solve(&mut net, 0, 3, 15)
+//!     .expect("feasible");
+//! assert_eq!(sol.flow, 15);
+//! assert_eq!(sol.cost, 10 * 2 + 5 * 8);
+//! assert_eq!(net.flow_on(cheap_a), 10);
+//! assert_eq!(net.flow_on(cheap_b), 10);
+//! assert_eq!(net.flow_on(dear_a), 5);
+//! assert_eq!(net.flow_on(dear_b), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity_scaling;
+mod cost_scaling;
+mod dinic;
+mod network;
+mod ssp;
+pub mod validate;
+
+pub use capacity_scaling::CapacityScaling;
+pub use cost_scaling::CostScaling;
+pub use dinic::dinic_max_flow;
+pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use ssp::{SspSolver, SspVariant};
+
+/// Outcome of a successful min-cost flow solve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Solution {
+    /// Flow value actually routed (equals the request when feasible).
+    pub flow: i64,
+    /// Total cost of the routed flow (sum of `flow_e * cost_e`).
+    pub cost: i64,
+}
+
+/// Error returned when the requested flow value cannot be routed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Infeasible {
+    /// The maximum flow value that *was* routable (left in the network).
+    pub max_flow: i64,
+    /// Cost of that partial routing.
+    pub cost: i64,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requested flow infeasible; at most {} routable (cost {})",
+            self.max_flow, self.cost
+        )
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Solver selection for [`min_cost_flow`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Algorithm {
+    /// Successive shortest paths with SPFA (reference; negative costs OK).
+    SpfaSsp,
+    /// Successive shortest paths with Dijkstra + potentials (default).
+    #[default]
+    DijkstraSsp,
+    /// Goldberg's cost-scaling push–relabel.
+    CostScaling,
+    /// Edmonds–Karp capacity-scaling SSP (the paper's reference [7]).
+    CapacityScaling,
+}
+
+/// Routes `target` units of flow from `source` to `sink` at minimum cost,
+/// using the selected algorithm. On success the flows are left installed in
+/// `net` (query with [`FlowNetwork::flow_on`]). On infeasibility the network
+/// holds a maximum (but still min-cost) routing and the error reports it.
+pub fn min_cost_flow(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    target: i64,
+    algorithm: Algorithm,
+) -> Result<Solution, Infeasible> {
+    match algorithm {
+        Algorithm::SpfaSsp => SspSolver::new(SspVariant::Spfa).solve(net, source, sink, target),
+        Algorithm::DijkstraSsp => {
+            SspSolver::new(SspVariant::Dijkstra).solve(net, source, sink, target)
+        }
+        Algorithm::CostScaling => CostScaling::default().solve(net, source, sink, target),
+        Algorithm::CapacityScaling => CapacityScaling.solve(net, source, sink, target),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn api_dispatches_all_algorithms() {
+        for alg in [
+            Algorithm::SpfaSsp,
+            Algorithm::DijkstraSsp,
+            Algorithm::CostScaling,
+            Algorithm::CapacityScaling,
+        ] {
+            let mut net = FlowNetwork::new(2);
+            net.add_edge(0, 1, 5, 3);
+            let sol = min_cost_flow(&mut net, 0, 1, 5, alg).unwrap();
+            assert_eq!(sol, Solution { flow: 5, cost: 15 }, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_reports_max_flow() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5, 1);
+        let err = min_cost_flow(&mut net, 0, 1, 9, Algorithm::default()).unwrap_err();
+        assert_eq!(err.max_flow, 5);
+        assert_eq!(err.cost, 5);
+        assert!(err.to_string().contains("at most 5"));
+    }
+}

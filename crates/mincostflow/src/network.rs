@@ -1,0 +1,259 @@
+//! Residual flow-network representation.
+//!
+//! Arcs are stored in a flat `Vec` where arc `2k` is the `k`-th user edge
+//! and arc `2k+1` is its residual reverse (capacity 0, negated cost). This
+//! pairing makes `rev(a) == a ^ 1`, avoiding an explicit pointer.
+
+/// Index of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Identifier of a user-added edge, returned by [`FlowNetwork::add_edge`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EdgeId(pub(crate) usize);
+
+#[derive(Clone, Debug)]
+pub(crate) struct Arc {
+    pub to: NodeId,
+    /// Remaining residual capacity.
+    pub cap: i64,
+    pub cost: i64,
+}
+
+/// A directed flow network with integer capacities and costs.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNetwork {
+    pub(crate) arcs: Vec<Arc>,
+    /// Outgoing arc indices per node (forward and residual alike).
+    pub(crate) adj: Vec<Vec<usize>>,
+    /// Original capacity of every user edge, indexed by `EdgeId.0`.
+    original_cap: Vec<i64>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            original_cap: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of user edges (not counting residual arcs).
+    pub fn num_edges(&self) -> usize {
+        self.original_cap.len()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and
+    /// per-unit cost. Capacity must be non-negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> EdgeId {
+        assert!(from < self.adj.len(), "from out of range");
+        assert!(to < self.adj.len(), "to out of range");
+        assert!(cap >= 0, "negative capacity");
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        self.original_cap.push(cap);
+        EdgeId(id / 2)
+    }
+
+    /// Current flow routed over a user edge.
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        // Flow equals the residual capacity accumulated on the reverse arc.
+        self.arcs[e.0 * 2 + 1].cap
+    }
+
+    /// The endpoints `(from, to)` of a user edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let to = self.arcs[e.0 * 2].to;
+        let from = self.arcs[e.0 * 2 + 1].to;
+        (from, to)
+    }
+
+    /// The original capacity of a user edge.
+    pub fn capacity(&self, e: EdgeId) -> i64 {
+        self.original_cap[e.0]
+    }
+
+    /// The per-unit cost of a user edge.
+    pub fn cost(&self, e: EdgeId) -> i64 {
+        self.arcs[e.0 * 2].cost
+    }
+
+    /// Remaining (unrouted) capacity of a user edge.
+    pub fn residual(&self, e: EdgeId) -> i64 {
+        self.arcs[e.0 * 2].cap
+    }
+
+    /// Iterator over all user edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.num_edges()).map(EdgeId)
+    }
+
+    /// Total cost of the currently installed flow.
+    pub fn total_cost(&self) -> i64 {
+        self.edges()
+            .map(|e| self.flow_on(e) * self.cost(e))
+            .sum()
+    }
+
+    /// Net flow out of a node (outgoing minus incoming over user edges).
+    pub fn net_out_flow(&self, v: NodeId) -> i64 {
+        let mut net = 0;
+        for e in self.edges() {
+            let (from, to) = self.endpoints(e);
+            if from == v {
+                net += self.flow_on(e);
+            }
+            if to == v {
+                net -= self.flow_on(e);
+            }
+        }
+        net
+    }
+
+    /// Clears all routed flow, restoring original capacities.
+    pub fn reset_flow(&mut self) {
+        for k in 0..self.num_edges() {
+            self.arcs[k * 2].cap = self.original_cap[k];
+            self.arcs[k * 2 + 1].cap = 0;
+        }
+    }
+
+    /// Pushes `amount` of flow along arc `a` (internal; updates residuals).
+    #[inline]
+    pub(crate) fn push(&mut self, a: usize, amount: i64) {
+        debug_assert!(amount >= 0 && amount <= self.arcs[a].cap);
+        self.arcs[a].cap -= amount;
+        self.arcs[a ^ 1].cap += amount;
+    }
+
+    /// Removes the most recently added user edge. Only valid when it *is*
+    /// the last one added; used internally to retract temporary super-arcs.
+    pub(crate) fn pop_last_edge(&mut self) {
+        let fwd = self.arcs.len() - 2;
+        let rev = fwd + 1;
+        let from = self.arcs[rev].to;
+        let to = self.arcs[fwd].to;
+        assert_eq!(self.adj[from].last(), Some(&fwd), "not the last edge");
+        assert_eq!(self.adj[to].last(), Some(&rev), "not the last edge");
+        self.adj[from].pop();
+        self.adj[to].pop();
+        self.arcs.pop();
+        self.arcs.pop();
+        self.original_cap.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_and_query() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 2, 7, 3);
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_edges(), 1);
+        assert_eq!(net.endpoints(e), (0, 2));
+        assert_eq!(net.capacity(e), 7);
+        assert_eq!(net.cost(e), 3);
+        assert_eq!(net.flow_on(e), 0);
+        assert_eq!(net.residual(e), 7);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut net = FlowNetwork::new(1);
+        let v = net.add_node();
+        assert_eq!(v, 1);
+        let e = net.add_edge(0, v, 1, 1);
+        assert_eq!(net.endpoints(e), (0, 1));
+    }
+
+    #[test]
+    fn push_moves_residuals() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 10, 1);
+        net.push(0, 4);
+        assert_eq!(net.flow_on(e), 4);
+        assert_eq!(net.residual(e), 6);
+        // Push back along the residual arc cancels flow.
+        net.push(1, 3);
+        assert_eq!(net.flow_on(e), 1);
+        assert_eq!(net.residual(e), 9);
+    }
+
+    #[test]
+    fn reset_restores_capacities() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5, 2);
+        net.push(0, 5);
+        assert_eq!(net.residual(e), 0);
+        net.reset_flow();
+        assert_eq!(net.residual(e), 5);
+        assert_eq!(net.flow_on(e), 0);
+        assert_eq!(net.total_cost(), 0);
+    }
+
+    #[test]
+    fn total_cost_sums_edges() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 2);
+        net.add_edge(1, 2, 5, 7);
+        net.push(0, 3);
+        net.push(2, 3);
+        assert_eq!(net.total_cost(), 3 * 2 + 3 * 7);
+    }
+
+    #[test]
+    fn net_out_flow_signs() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 0);
+        net.add_edge(1, 2, 5, 0);
+        net.push(0, 2);
+        net.push(2, 2);
+        assert_eq!(net.net_out_flow(0), 2);
+        assert_eq!(net.net_out_flow(1), 0);
+        assert_eq!(net.net_out_flow(2), -2);
+    }
+
+    #[test]
+    fn parallel_and_self_edges_supported() {
+        let mut net = FlowNetwork::new(2);
+        let a = net.add_edge(0, 1, 3, 1);
+        let b = net.add_edge(0, 1, 3, 9);
+        let loop_e = net.add_edge(1, 1, 2, 5);
+        assert_ne!(a, b);
+        assert_eq!(net.endpoints(loop_e), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_rejected() {
+        FlowNetwork::new(2).add_edge(0, 1, -1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_rejected() {
+        FlowNetwork::new(2).add_edge(0, 5, 1, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Independent certification of flow solutions.
+//!
+//! These checks do not share code with the solvers, so they serve as an
+//! oracle in property tests: capacity bounds, conservation at every
+//! non-terminal node, and min-cost optimality via the absence of a negative
+//! cycle in the residual graph (the classic optimality criterion).
+
+use crate::network::{FlowNetwork, NodeId};
+
+/// A violation found by [`check_flow`] or [`check_optimality`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// An edge carries more than its capacity or negative flow.
+    CapacityExceeded {
+        /// Index of the offending user edge.
+        edge: usize,
+        /// Flow found on it.
+        flow: i64,
+        /// Its capacity.
+        cap: i64,
+    },
+    /// A non-terminal node creates or destroys flow.
+    ConservationBroken {
+        /// The offending node.
+        node: NodeId,
+        /// Its net outgoing flow (should be zero).
+        net: i64,
+    },
+    /// Source/sink imbalance does not match the claimed value.
+    ValueMismatch {
+        /// Net flow out of the source.
+        at_source: i64,
+        /// Net flow into the sink.
+        at_sink: i64,
+        /// The claimed flow value.
+        claimed: i64,
+    },
+    /// The residual graph contains a negative-cost cycle, so the flow is
+    /// not minimum-cost for its value.
+    NegativeResidualCycle,
+}
+
+/// Verifies the installed flow is a feasible `source → sink` flow of value
+/// `value`. Returns all violations found (empty = valid).
+pub fn check_flow(
+    net: &FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    value: i64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for e in net.edges() {
+        let flow = net.flow_on(e);
+        let cap = net.capacity(e);
+        if flow < 0 || flow > cap {
+            violations.push(Violation::CapacityExceeded {
+                edge: e.0,
+                flow,
+                cap,
+            });
+        }
+    }
+    for v in 0..net.num_nodes() {
+        if v == source || v == sink {
+            continue;
+        }
+        let net_out = net.net_out_flow(v);
+        if net_out != 0 {
+            violations.push(Violation::ConservationBroken { node: v, net: net_out });
+        }
+    }
+    let at_source = net.net_out_flow(source);
+    let at_sink = -net.net_out_flow(sink);
+    if at_source != value || at_sink != value {
+        violations.push(Violation::ValueMismatch {
+            at_source,
+            at_sink,
+            claimed: value,
+        });
+    }
+    violations
+}
+
+/// Verifies the installed flow is *minimum-cost* for its value by checking
+/// that the residual graph has no negative-cost cycle (Bellman–Ford from a
+/// virtual super-source attached to every node).
+pub fn check_optimality(net: &FlowNetwork) -> Result<(), Violation> {
+    let n = net.num_nodes();
+    let mut dist = vec![0i64; n]; // virtual source: all distances start 0
+    for round in 0..n {
+        let mut changed = false;
+        for u in 0..n {
+            for &a in &net.adj[u] {
+                let arc = &net.arcs[a];
+                if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                    dist[arc.to] = dist[u] + arc.cost;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        if round == n - 1 {
+            return Err(Violation::NegativeResidualCycle);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{min_cost_flow, Algorithm};
+
+    #[test]
+    fn valid_solution_passes() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 4, 1);
+        net.add_edge(1, 3, 4, 1);
+        net.add_edge(0, 2, 10, 10);
+        net.add_edge(2, 3, 10, 10);
+        min_cost_flow(&mut net, 0, 3, 6, Algorithm::default()).unwrap();
+        assert!(check_flow(&net, 0, 3, 6).is_empty());
+        assert_eq!(check_optimality(&net), Ok(()));
+    }
+
+    #[test]
+    fn detects_value_mismatch() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10, 1);
+        min_cost_flow(&mut net, 0, 1, 5, Algorithm::default()).unwrap();
+        let v = check_flow(&net, 0, 1, 7);
+        assert!(matches!(v.as_slice(), [Violation::ValueMismatch { .. }]));
+    }
+
+    #[test]
+    fn detects_conservation_break() {
+        // Hand-build an inconsistent "flow": push into node 1, never out.
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 0);
+        net.add_edge(1, 2, 5, 0);
+        net.push(0, 3); // only first hop
+        let v = check_flow(&net, 0, 2, 3);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ConservationBroken { node: 1, net: -3 })));
+    }
+
+    #[test]
+    fn detects_suboptimal_flow() {
+        // Route the expensive path although a cheap one is free: the
+        // residual graph then has a negative cycle (cheap fwd + dear bwd).
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5, 1); // cheap
+        net.add_edge(1, 3, 5, 1);
+        net.add_edge(0, 2, 5, 10); // dear
+        net.add_edge(2, 3, 5, 10);
+        net.push(4, 5); // arcs 4,5 = edge (0,2); 6,7 = edge (2,3)
+        net.push(6, 5);
+        assert!(check_flow(&net, 0, 3, 5).is_empty());
+        assert_eq!(
+            check_optimality(&net),
+            Err(Violation::NegativeResidualCycle)
+        );
+    }
+
+    #[test]
+    fn zero_flow_is_optimal_when_costs_nonnegative() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5, 2);
+        net.add_edge(1, 2, 5, 2);
+        assert!(check_flow(&net, 0, 2, 0).is_empty());
+        assert_eq!(check_optimality(&net), Ok(()));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: the three solvers must agree with each other and every
+//! solution must pass the independent validator (feasibility + optimality).
+
+use mincostflow::{
+    dinic_max_flow, min_cost_flow, validate, Algorithm, FlowNetwork,
+};
+use proptest::prelude::*;
+
+/// A randomly generated problem instance.
+#[derive(Clone, Debug)]
+struct Instance {
+    n: usize,
+    edges: Vec<(usize, usize, i64, i64)>, // (from, to, cap, cost)
+    target: i64,
+}
+
+fn instance_strategy(max_nodes: usize) -> impl Strategy<Value = Instance> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n, 1i64..=15, 0i64..=20);
+        (proptest::collection::vec(edge, 1..=3 * n), 0i64..=25).prop_map(
+            move |(edges, target)| Instance { n, edges, target },
+        )
+    })
+}
+
+/// Negative costs are only legal without negative cycles; generate DAGs
+/// (edges strictly ascending in node index) so any cost sign is safe.
+/// RASC's composition graphs are layered DAGs, so this matches real use.
+fn dag_instance_strategy(max_nodes: usize) -> impl Strategy<Value = Instance> {
+    (3usize..=max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n - 1, 0..n, 1i64..=15, -10i64..=20).prop_map(move |(a, b, cap, cost)| {
+            let to = (a + 1).max(b.min(n - 1)).max(a + 1);
+            (a, to.min(n - 1).max(a + 1), cap, cost)
+        });
+        (proptest::collection::vec(edge, 1..=3 * n), 0i64..=25).prop_map(
+            move |(edges, target)| Instance { n, edges, target },
+        )
+    })
+}
+
+fn build(inst: &Instance) -> FlowNetwork {
+    let mut net = FlowNetwork::new(inst.n);
+    for &(from, to, cap, cost) in &inst.edges {
+        // Self-loops are legal but useless; skip negative-cost self-loops,
+        // which make the *problem* unbounded-cost-improvable only via the
+        // loop itself. (RASC composition graphs are DAGs; we still allow
+        // arbitrary topologies here apart from that degenerate case.)
+        if from == to && cost < 0 {
+            continue;
+        }
+        net.add_edge(from, to, cap, cost);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// SPFA-SSP and Dijkstra-SSP agree exactly, and both pass validation,
+    /// on graphs with non-negative costs.
+    #[test]
+    fn ssp_variants_agree_and_validate(inst in instance_strategy(8)) {
+        let sink = inst.n - 1;
+        let mut a = build(&inst);
+        let mut b = build(&inst);
+        let ra = min_cost_flow(&mut a, 0, sink, inst.target, Algorithm::SpfaSsp);
+        let rb = min_cost_flow(&mut b, 0, sink, inst.target, Algorithm::DijkstraSsp);
+        match (ra, rb) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(validate::check_flow(&a, 0, sink, x.flow).is_empty());
+                prop_assert_eq!(validate::check_optimality(&a), Ok(()));
+                prop_assert_eq!(validate::check_optimality(&b), Ok(()));
+            }
+            (Err(x), Err(y)) => {
+                prop_assert_eq!(x.max_flow, y.max_flow);
+                prop_assert_eq!(x.cost, y.cost);
+                // Partial flow must still be valid and optimal for its value.
+                prop_assert!(validate::check_flow(&a, 0, sink, x.max_flow).is_empty());
+                prop_assert_eq!(validate::check_optimality(&a), Ok(()));
+            }
+            other => prop_assert!(false, "variant disagreement: {:?}", other),
+        }
+    }
+
+    /// Cost scaling and capacity scaling agree with SSP on arbitrary
+    /// instances, and their flows pass independent validation.
+    #[test]
+    fn scaling_solvers_agree_with_ssp(inst in instance_strategy(7)) {
+        let sink = inst.n - 1;
+        let mut a = build(&inst);
+        let ra = min_cost_flow(&mut a, 0, sink, inst.target, Algorithm::DijkstraSsp);
+        for alg in [Algorithm::CostScaling, Algorithm::CapacityScaling] {
+            let mut b = build(&inst);
+            let rb = min_cost_flow(&mut b, 0, sink, inst.target, alg);
+            match (&ra, &rb) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x, y, "{:?}", alg);
+                    prop_assert!(validate::check_flow(&b, 0, sink, y.flow).is_empty());
+                    prop_assert_eq!(validate::check_optimality(&b), Ok(()), "{:?}", alg);
+                }
+                (Err(x), Err(y)) => {
+                    prop_assert_eq!(x.max_flow, y.max_flow, "{:?}", alg);
+                    prop_assert_eq!(x.cost, y.cost, "{:?}", alg);
+                }
+                other => prop_assert!(false, "solver disagreement ({:?}): {:?}", alg, other),
+            }
+        }
+    }
+
+    /// SSP handles negative arc costs; validated against the optimality
+    /// oracle (no negative residual cycle).
+    #[test]
+    fn negative_costs_validate(inst in dag_instance_strategy(6)) {
+        let sink = inst.n - 1;
+        let mut a = build(&inst);
+        let r = min_cost_flow(&mut a, 0, sink, inst.target, Algorithm::SpfaSsp);
+        let value = match r { Ok(s) => s.flow, Err(e) => e.max_flow };
+        prop_assert!(validate::check_flow(&a, 0, sink, value).is_empty());
+        // Note: with negative arcs the min-cost *flow of value v* criterion
+        // still demands no negative residual cycle.
+        prop_assert_eq!(validate::check_optimality(&a), Ok(()));
+    }
+
+    /// The flow value reported on infeasibility equals Dinic's max flow.
+    #[test]
+    fn infeasible_max_matches_dinic(inst in instance_strategy(8)) {
+        let sink = inst.n - 1;
+        let mut a = build(&inst);
+        let mut b = build(&inst);
+        let max = dinic_max_flow(&mut b, 0, sink, i64::MAX);
+        match min_cost_flow(&mut a, 0, sink, inst.target, Algorithm::DijkstraSsp) {
+            Ok(sol) => prop_assert!(sol.flow <= max),
+            Err(err) => prop_assert_eq!(err.max_flow, max),
+        }
+    }
+
+    /// Solving twice after reset gives identical results (reset is sound).
+    #[test]
+    fn reset_allows_resolve(inst in instance_strategy(6)) {
+        let sink = inst.n - 1;
+        let mut net = build(&inst);
+        let r1 = min_cost_flow(&mut net, 0, sink, inst.target, Algorithm::DijkstraSsp);
+        net.reset_flow();
+        prop_assert_eq!(net.total_cost(), 0);
+        let r2 = min_cost_flow(&mut net, 0, sink, inst.target, Algorithm::DijkstraSsp);
+        match (r1, r2) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(x), Err(y)) => {
+                prop_assert_eq!(x.max_flow, y.max_flow);
+                prop_assert_eq!(x.cost, y.cost);
+            }
+            other => prop_assert!(false, "reset changed outcome: {:?}", other),
+        }
+    }
+}

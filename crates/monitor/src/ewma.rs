@@ -1,0 +1,84 @@
+//! Exponentially weighted moving average.
+
+/// An EWMA smoother: `v ← α·x + (1-α)·v`.
+///
+/// Used to smooth noisy per-data-unit measurements (running times,
+/// backlogs) where a fixed-size window would be too jumpy.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates a smoother with weight `alpha ∈ (0, 1]` for new samples.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds a sample; the first sample initializes the average.
+    pub fn record(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// Current smoothed value, or `default` before any sample.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Whether at least one sample has been recorded.
+    pub fn initialized(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value_or(9.0), 9.0);
+        assert!(!e.initialized());
+        e.record(4.0);
+        assert_eq!(e.value_or(9.0), 4.0);
+        assert!(e.initialized());
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        e.record(0.0);
+        for _ in 0..100 {
+            e.record(10.0);
+        }
+        assert!((e.value_or(0.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.record(3.0);
+        e.record(8.0);
+        assert_eq!(e.value_or(0.0), 8.0);
+    }
+
+    #[test]
+    fn smoothing_damps_spikes() {
+        let mut e = Ewma::new(0.1);
+        e.record(1.0);
+        e.record(100.0); // spike
+        assert!((e.value_or(0.0) - 10.9).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_rejected() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Log-bucketed histogram for latency-style distributions.
+//!
+//! The paper reports averages; a faithful reproduction should also be
+//! able to show tails (p95/p99), where jitter and overload actually
+//! live. Buckets grow geometrically, giving a bounded-memory sketch
+//! with a fixed relative error (~`growth − 1`) at any quantile.
+
+/// A histogram with geometrically growing buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    /// Upper bound of bucket `i` is `min_value * growth^(i+1)`.
+    min_value: f64,
+    growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    max_seen: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min_value, min_value·growth^buckets)`
+    /// with the given per-bucket growth factor (> 1).
+    pub fn new(min_value: f64, growth: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        assert!(buckets >= 1, "need at least one bucket");
+        Histogram {
+            min_value,
+            growth,
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A good default for millisecond latencies: 0.1 ms to ~2 minutes at
+    /// ~10 % relative resolution.
+    pub fn for_latency_ms() -> Self {
+        Histogram::new(0.1, 1.1, 150)
+    }
+
+    /// Records a sample. Values below the range count as underflow;
+    /// values above clamp into the last bucket.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        self.max_seen = self.max_seen.max(x);
+        if x < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.min_value).ln() / self.growth.ln()).floor() as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (upper bucket bound; `None`
+    /// when empty). Resolution is one bucket (~`growth − 1` relative).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(self.min_value);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                return Some(self.min_value * self.growth.powi(i as i32 + 1));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max_seen)
+    }
+
+    /// Merges another histogram with identical parameters.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket mismatch");
+        assert!(
+            (self.min_value - other.min_value).abs() < 1e-12
+                && (self.growth - other.growth).abs() < 1e-12,
+            "parameter mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::for_latency_ms();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = Histogram::for_latency_ms();
+        for i in 1..=1000 {
+            h.record(i as f64); // 1..=1000 ms uniform
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 / 500.0 - 1.0).abs() < 0.15, "p50 {p50}");
+        assert!((p95 / 950.0 - 1.0).abs() < 0.15, "p95 {p95}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.15, "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_absorbed() {
+        let mut h = Histogram::new(1.0, 2.0, 4); // covers [1, 16)
+        h.record(0.01); // underflow
+        h.record(1_000.0); // clamps into last bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.25), Some(1.0)); // the underflow
+        assert_eq!(h.max(), Some(1_000.0));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::for_latency_ms();
+        let mut b = Histogram::for_latency_ms();
+        let mut all = Histogram::for_latency_ms();
+        for i in 0..500 {
+            let x = 1.0 + (i as f64) * 0.37;
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            all.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "growth")]
+    fn bad_growth_rejected() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Sliding-window rate estimation over event timestamps.
+
+use desim::SimTime;
+use std::collections::VecDeque;
+
+/// Estimates the rate of a point process (data-unit arrivals, departures)
+/// from the timestamps of the most recent `h` events.
+///
+/// The estimate is `(k - 1) / (t_last - t_first)` over the retained window
+/// — the maximum-likelihood rate for a Poisson process and exact for a
+/// periodic one. With fewer than two events the rate is reported as zero.
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    window: VecDeque<SimTime>,
+    capacity: usize,
+    total: u64,
+}
+
+impl RateEstimator {
+    /// Creates an estimator over the last `h ≥ 2` events.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 2, "window must hold at least 2 events");
+        RateEstimator {
+            window: VecDeque::with_capacity(h),
+            capacity: h,
+            total: 0,
+        }
+    }
+
+    /// Records an event at `now`. Timestamps must be non-decreasing.
+    pub fn record(&mut self, now: SimTime) {
+        debug_assert!(
+            self.window.back().is_none_or(|&last| now >= last),
+            "timestamps must be monotone"
+        );
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(now);
+        self.total += 1;
+    }
+
+    /// Events per second over the window, or 0 with fewer than 2 events
+    /// or a zero-length span.
+    pub fn rate(&self) -> f64 {
+        if self.window.len() < 2 {
+            return 0.0;
+        }
+        let first = *self.window.front().unwrap();
+        let last = *self.window.back().unwrap();
+        let span = last.saturating_since(first).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (self.window.len() - 1) as f64 / span
+        }
+    }
+
+    /// The mean interval between events (the period `p_ci` the scheduler
+    /// infers, paper §3.4), or `None` with fewer than 2 events.
+    pub fn period(&self) -> Option<desim::SimDuration> {
+        let r = self.rate();
+        if r > 0.0 {
+            Some(desim::SimDuration::from_secs_f64(1.0 / r))
+        } else {
+            None
+        }
+    }
+
+    /// Total events ever recorded (not just the window).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of events currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no events have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+
+    #[test]
+    fn empty_and_single_event_rate_is_zero() {
+        let mut r = RateEstimator::new(8);
+        assert_eq!(r.rate(), 0.0);
+        assert!(r.is_empty());
+        r.record(SimTime::from_secs(1));
+        assert_eq!(r.rate(), 0.0);
+        assert_eq!(r.period(), None);
+    }
+
+    #[test]
+    fn periodic_events_give_exact_rate() {
+        let mut r = RateEstimator::new(16);
+        for i in 0..10 {
+            r.record(SimTime::from_millis(100 * i)); // 10 Hz
+        }
+        assert!((r.rate() - 10.0).abs() < 1e-9);
+        assert_eq!(r.period(), Some(SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn window_forgets_old_rates() {
+        let mut r = RateEstimator::new(4);
+        // Slow phase: 1 Hz.
+        for i in 0..5 {
+            r.record(SimTime::from_secs(i));
+        }
+        // Fast phase: 100 Hz; after 4 events the window is all-fast.
+        for i in 0..4 {
+            r.record(SimTime::from_secs(5) + SimDuration::from_millis(10 * i));
+        }
+        assert!((r.rate() - 100.0).abs() < 1e-6, "rate {}", r.rate());
+        assert_eq!(r.total(), 9);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn simultaneous_events_do_not_divide_by_zero() {
+        let mut r = RateEstimator::new(4);
+        r.record(SimTime::from_secs(1));
+        r.record(SimTime::from_secs(1));
+        assert_eq!(r.rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_window_rejected() {
+        RateEstimator::new(1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Welford's online mean/variance, numerically stable in one pass.
+
+/// Streaming mean, variance, and extremes without storing samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+        assert_eq!(w.max(), None);
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..37] {
+            left.record(x);
+        }
+        for &x in &xs[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w = Welford::new();
+        w.record(5.0);
+        let before = (w.count(), w.mean());
+        w.merge(&Welford::new());
+        assert_eq!((w.count(), w.mean()), before);
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 5.0);
+    }
+
+    #[test]
+    fn single_sample_variance_zero() {
+        let mut w = Welford::new();
+        w.record(42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.mean(), 42.0);
+    }
+}

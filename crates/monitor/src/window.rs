@@ -1,0 +1,192 @@
+//! Fixed-size sliding windows over outcomes and scalar samples.
+
+use std::collections::VecDeque;
+
+/// Sliding window over success/failure outcomes; reports the failure
+/// (drop) ratio among the last `h` data units a node handled.
+///
+/// This is the paper's `drops_n(ci)` feedback signal: because it "changes
+/// dynamically depending on the load of the peer", composition reads it
+/// fresh from this window rather than from lifetime counters.
+#[derive(Clone, Debug)]
+pub struct OutcomeWindow {
+    window: VecDeque<bool>, // true = dropped
+    capacity: usize,
+    dropped_in_window: usize,
+    total_dropped: u64,
+    total_seen: u64,
+}
+
+impl OutcomeWindow {
+    /// Creates a window over the last `h ≥ 1` outcomes.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 1, "window must hold at least one outcome");
+        OutcomeWindow {
+            window: VecDeque::with_capacity(h),
+            capacity: h,
+            dropped_in_window: 0,
+            total_dropped: 0,
+            total_seen: 0,
+        }
+    }
+
+    /// Records one data-unit outcome.
+    pub fn record(&mut self, dropped: bool) {
+        if self.window.len() == self.capacity
+            && self.window.pop_front() == Some(true) {
+                self.dropped_in_window -= 1;
+            }
+        self.window.push_back(dropped);
+        if dropped {
+            self.dropped_in_window += 1;
+            self.total_dropped += 1;
+        }
+        self.total_seen += 1;
+    }
+
+    /// Drop ratio over the window; 0 when nothing was observed yet
+    /// (a fresh node advertises itself as uncongested).
+    pub fn ratio(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.dropped_in_window as f64 / self.window.len() as f64
+        }
+    }
+
+    /// Lifetime drop count.
+    pub fn total_dropped(&self) -> u64 {
+        self.total_dropped
+    }
+
+    /// Lifetime observation count.
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+}
+
+/// Sliding window over scalar samples with mean/min/max (running times).
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    window: VecDeque<f64>,
+    capacity: usize,
+    sum: f64,
+}
+
+impl WindowStats {
+    /// Creates a window over the last `h ≥ 1` samples.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 1, "window must hold at least one sample");
+        WindowStats {
+            window: VecDeque::with_capacity(h),
+            capacity: h,
+            sum: 0.0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        if self.window.len() == self.capacity {
+            if let Some(old) = self.window.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.window.push_back(x);
+        self.sum += x;
+    }
+
+    /// Mean over the window, or `default` when empty.
+    pub fn mean_or(&self, default: f64) -> f64 {
+        if self.window.is_empty() {
+            default
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Largest sample in the window, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.window.iter().copied().reduce(f64::max)
+    }
+
+    /// Smallest sample in the window, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.window.iter().copied().reduce(f64::min)
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_ratio_over_window_only() {
+        let mut w = OutcomeWindow::new(4);
+        assert_eq!(w.ratio(), 0.0);
+        for _ in 0..4 {
+            w.record(true); // all dropped
+        }
+        assert_eq!(w.ratio(), 1.0);
+        for _ in 0..4 {
+            w.record(false); // all delivered: window fully turned over
+        }
+        assert_eq!(w.ratio(), 0.0);
+        assert_eq!(w.total_dropped(), 4);
+        assert_eq!(w.total_seen(), 8);
+    }
+
+    #[test]
+    fn outcome_partial_window() {
+        let mut w = OutcomeWindow::new(10);
+        w.record(true);
+        w.record(false);
+        w.record(false);
+        w.record(false);
+        assert!((w.ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_incremental_matches_recount() {
+        let mut w = OutcomeWindow::new(5);
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for (i, &d) in pattern.iter().enumerate() {
+            w.record(d);
+            let start = (i + 1).saturating_sub(5);
+            let expect = pattern[start..=i].iter().filter(|&&x| x).count() as f64
+                / (i + 1 - start) as f64;
+            assert!((w.ratio() - expect).abs() < 1e-12, "at step {i}");
+        }
+    }
+
+    #[test]
+    fn window_stats_mean_and_extremes() {
+        let mut w = WindowStats::new(3);
+        assert_eq!(w.mean_or(7.5), 7.5);
+        assert_eq!(w.max(), None);
+        w.record(1.0);
+        w.record(2.0);
+        w.record(6.0);
+        assert!((w.mean_or(0.0) - 3.0).abs() < 1e-12);
+        w.record(10.0); // evicts 1.0
+        assert!((w.mean_or(0.0) - 6.0).abs() < 1e-12);
+        assert_eq!(w.max(), Some(10.0));
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_window_rejected() {
+        OutcomeWindow::new(0);
+    }
+}

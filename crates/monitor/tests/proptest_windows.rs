@@ -1,0 +1,108 @@
+//! Property tests: the incremental window/meter implementations agree
+//! with naive recomputation on arbitrary inputs.
+
+use desim::{SimDuration, SimTime};
+use monitor::{OutcomeWindow, RateEstimator, ThroughputMeter, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// OutcomeWindow's incremental ratio equals a recount of the last h.
+    #[test]
+    fn outcome_window_matches_recount(
+        h in 1usize..20,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut w = OutcomeWindow::new(h);
+        for (i, &d) in outcomes.iter().enumerate() {
+            w.record(d);
+            let start = (i + 1).saturating_sub(h);
+            let window = &outcomes[start..=i];
+            let expect = window.iter().filter(|&&x| x).count() as f64 / window.len() as f64;
+            prop_assert!((w.ratio() - expect).abs() < 1e-12);
+        }
+        prop_assert_eq!(w.total_seen(), outcomes.len() as u64);
+        prop_assert_eq!(
+            w.total_dropped(),
+            outcomes.iter().filter(|&&x| x).count() as u64
+        );
+    }
+
+    /// RateEstimator equals (k-1)/span over the retained tail.
+    #[test]
+    fn rate_estimator_matches_formula(
+        h in 2usize..16,
+        gaps in proptest::collection::vec(1u64..1_000_000, 1..60),
+    ) {
+        let mut r = RateEstimator::new(h);
+        let mut times = Vec::new();
+        let mut now = 0u64;
+        for g in gaps {
+            now += g;
+            times.push(now);
+            r.record(SimTime::from_micros(now));
+        }
+        let tail: Vec<u64> = times.iter().rev().take(h).rev().copied().collect();
+        if tail.len() >= 2 {
+            let span = (tail[tail.len() - 1] - tail[0]) as f64 / 1e6;
+            let expect = (tail.len() - 1) as f64 / span;
+            prop_assert!((r.rate() - expect).abs() / expect < 1e-9);
+        } else {
+            prop_assert_eq!(r.rate(), 0.0);
+        }
+    }
+
+    /// ThroughputMeter equals a naive sum over the half-open window.
+    #[test]
+    fn throughput_meter_matches_naive(
+        window_ms in 10u64..5_000,
+        events in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..80),
+    ) {
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut m = ThroughputMeter::new(SimDuration::from_millis(window_ms));
+        for &(t, bits) in &sorted {
+            m.record(SimTime::from_millis(t), bits);
+        }
+        let now = sorted.last().unwrap().0;
+        let naive: u64 = sorted
+            .iter()
+            .filter(|&&(t, _)| now - t < window_ms)
+            .map(|&(_, b)| b)
+            .sum();
+        let expect = naive as f64 / (window_ms as f64 / 1000.0);
+        prop_assert!((m.rate(SimTime::from_millis(now)) - expect).abs() < 1e-6);
+    }
+
+    /// Welford matches naive two-pass mean/variance, and chunked merges
+    /// match sequential accumulation.
+    #[test]
+    fn welford_matches_naive_and_merges(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6);
+        prop_assert!((w.variance() - var).abs() < 1e-6);
+
+        let cut = split.min(xs.len());
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..cut] {
+            a.record(x);
+        }
+        for &x in &xs[cut..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), w.count());
+        prop_assert!((a.mean() - w.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - w.variance()).abs() < 1e-6);
+    }
+}

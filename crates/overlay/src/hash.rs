@@ -1,0 +1,68 @@
+//! A stable 128-bit hash for deriving keys from names.
+//!
+//! The paper uses SHA-1 to derive component IDs (§3.3); any well-mixed,
+//! platform-stable hash serves the same purpose here. We use two rounds of
+//! a 64-bit FNV-1a/avalanche construction with distinct salts — stable
+//! across Rust versions, unlike `std::hash::DefaultHasher`.
+
+use crate::key::NodeKey;
+
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    // SplitMix64 finalizer: full avalanche.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+fn fnv64(bytes: &[u8], salt: u64) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325 ^ salt;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    mix64(h)
+}
+
+/// Hashes arbitrary bytes to a 128-bit overlay key.
+pub fn stable_hash128(bytes: &[u8]) -> NodeKey {
+    let hi = fnv64(bytes, 0x5241_5343_5F48_4931); // "RASC_HI1"
+    let lo = fnv64(bytes, 0x5241_5343_5F4C_4F31); // "RASC_LO1"
+    NodeKey(((hi as u128) << 64) | lo as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(stable_hash128(b"transcode"), stable_hash128(b"transcode"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_keys() {
+        let names = [
+            "filter", "aggregate", "transcode", "project", "join", "sample", "encrypt",
+            "compress", "annotate", "classify",
+        ];
+        let mut keys: Vec<_> = names.iter().map(|n| stable_hash128(n.as_bytes())).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), names.len());
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        let k = stable_hash128(b"");
+        assert_ne!(k, NodeKey(0));
+    }
+
+    #[test]
+    fn single_bit_avalanche() {
+        let a = stable_hash128(b"service-1").0;
+        let b = stable_hash128(b"service-2").0;
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 32, "poor diffusion: {differing} bits differ");
+    }
+}

@@ -1,0 +1,111 @@
+//! 128-bit node/object identifiers on a circular key space.
+
+use std::fmt;
+
+/// Number of bits per digit (`b` in the Pastry paper; 4 ⇒ hex digits).
+pub(crate) const DIGIT_BITS: u32 = 4;
+/// Number of digits in a key (rows of the routing table).
+pub(crate) const NUM_DIGITS: usize = (128 / DIGIT_BITS) as usize;
+/// Number of distinct digit values (columns of the routing table).
+pub(crate) const DIGIT_BASE: usize = 1 << DIGIT_BITS;
+
+/// A 128-bit identifier in Pastry's circular key space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeKey(pub u128);
+
+impl NodeKey {
+    /// The digit at position `i` (0 = most significant).
+    #[inline]
+    pub fn digit(self, i: usize) -> usize {
+        debug_assert!(i < NUM_DIGITS);
+        ((self.0 >> (128 - DIGIT_BITS as usize * (i + 1))) & 0xF) as usize
+    }
+
+    /// Length of the common hex-digit prefix of `self` and `other`
+    /// (0..=32; 32 means equal).
+    #[inline]
+    pub fn shared_prefix_len(self, other: NodeKey) -> usize {
+        let x = self.0 ^ other.0;
+        if x == 0 {
+            NUM_DIGITS
+        } else {
+            (x.leading_zeros() / DIGIT_BITS) as usize
+        }
+    }
+
+    /// Circular distance on the 2^128 ring (minimum of the two arcs).
+    #[inline]
+    pub fn ring_distance(self, other: NodeKey) -> u128 {
+        let d = self.0.wrapping_sub(other.0);
+        let e = other.0.wrapping_sub(self.0);
+        d.min(e)
+    }
+
+    /// Clockwise distance from `self` to `other` (how far forward on the
+    /// ring `other` lies).
+    #[inline]
+    pub fn clockwise_distance(self, other: NodeKey) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+}
+
+impl fmt::Debug for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for NodeKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_extraction() {
+        let k = NodeKey(0xABCD_0000_0000_0000_0000_0000_0000_0001);
+        assert_eq!(k.digit(0), 0xA);
+        assert_eq!(k.digit(1), 0xB);
+        assert_eq!(k.digit(2), 0xC);
+        assert_eq!(k.digit(3), 0xD);
+        assert_eq!(k.digit(4), 0x0);
+        assert_eq!(k.digit(31), 0x1);
+    }
+
+    #[test]
+    fn shared_prefix() {
+        let a = NodeKey(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+        let b = NodeKey(0xABFF_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_len(b), 2);
+        assert_eq!(a.shared_prefix_len(a), NUM_DIGITS);
+        let c = NodeKey(0x0B00_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_len(c), 0);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let near_top = NodeKey(u128::MAX - 5);
+        let near_bottom = NodeKey(10);
+        assert_eq!(near_top.ring_distance(near_bottom), 16);
+        assert_eq!(near_bottom.ring_distance(near_top), 16);
+        assert_eq!(near_top.ring_distance(near_top), 0);
+    }
+
+    #[test]
+    fn clockwise_distance_is_directional() {
+        let a = NodeKey(10);
+        let b = NodeKey(25);
+        assert_eq!(a.clockwise_distance(b), 15);
+        assert_eq!(b.clockwise_distance(a), u128::MAX - 14);
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        assert_eq!(NodeKey(0xFF).to_string().len(), 32);
+        assert!(NodeKey(0xFF).to_string().ends_with("ff"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for Pastry routing: correctness (delivery at the true
+//! owner), loop-freedom, and bounded path length under churn.
+
+use overlay::{stable_hash128, MemberId, NodeKey, Overlay};
+use proptest::prelude::*;
+
+fn flat(_: MemberId, _: MemberId) -> f64 {
+    1.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every route from every start delivers at the ring-closest member.
+    #[test]
+    fn routes_deliver_at_owner(
+        n in 2usize..40,
+        seed in 0u64..1000,
+        lookups in proptest::collection::vec(any::<u128>(), 1..20),
+    ) {
+        let ov = Overlay::build(n, seed, &flat);
+        for (i, raw) in lookups.iter().enumerate() {
+            let key = NodeKey(*raw);
+            let from = i % n;
+            let path = ov.route_path(from, key);
+            prop_assert_eq!(*path.last().unwrap(), ov.owner_of(key));
+            // Loop-freedom: no member repeats along the path.
+            let mut seen = path.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), path.len(), "loop in {:?}", path);
+            // Pastry bound: generous log-based cap.
+            prop_assert!(path.len() <= 10, "path too long: {:?}", path);
+        }
+    }
+
+    /// After arbitrary join/remove sequences, routing still delivers at
+    /// the (current) owner.
+    #[test]
+    fn churn_preserves_delivery(
+        n in 4usize..16,
+        seed in 0u64..500,
+        ops in proptest::collection::vec((any::<bool>(), any::<u128>()), 1..12),
+    ) {
+        let mut ov = Overlay::build(n, seed, &flat);
+        for (is_join, raw) in ops {
+            if is_join {
+                let key = NodeKey(raw);
+                if ov.alive_members().all(|m| ov.key_of(m) != key) {
+                    let boot = ov.alive_members().next().unwrap();
+                    ov.join(key, boot, &flat);
+                }
+            } else if ov.alive_count() > 2 {
+                let victims: Vec<_> = ov.alive_members().collect();
+                let victim = victims[(raw % victims.len() as u128) as usize];
+                ov.remove(victim);
+            }
+            let key = NodeKey(raw ^ 0xABCD_EF01);
+            let from = ov.alive_members().next().unwrap();
+            let path = ov.route_path(from, key);
+            prop_assert_eq!(*path.last().unwrap(), ov.owner_of(key));
+        }
+    }
+
+    /// Service names hash to keys that the DHT stores and retrieves from
+    /// any vantage point.
+    #[test]
+    fn dht_visible_from_all_members(
+        n in 2usize..24,
+        seed in 0u64..500,
+        names in proptest::collection::vec("[a-z]{1,12}", 1..8),
+    ) {
+        let ov = Overlay::build(n, seed, &flat);
+        let mut dht = overlay::Dht::new(n, 2);
+        for (i, name) in names.iter().enumerate() {
+            dht.insert(&ov, i % n, stable_hash128(name.as_bytes()), i as u32);
+        }
+        for (i, name) in names.iter().enumerate() {
+            for from in 0..n {
+                let r = dht.lookup(&ov, from, stable_hash128(name.as_bytes()));
+                prop_assert!(
+                    r.values.contains(&(i as u32)),
+                    "member {} cannot see {} (got {:?})", from, name, r.values
+                );
+            }
+        }
+    }
+}

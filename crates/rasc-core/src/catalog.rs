@@ -1,0 +1,212 @@
+//! Service placement and DHT-backed component discovery (§3.3).
+//!
+//! Every node hosts a subset of the catalog's services. Each (service,
+//! host) pair is registered in the Pastry DHT under the hash of the
+//! service name; composition looks the providers up through the overlay
+//! and the lookup's hop count × link latencies become the discovery
+//! latency charged to the request.
+
+use crate::model::{ServiceCatalog, ServiceId};
+use desim::SimRng;
+use overlay::{stable_hash128, Dht, NodeKey, Overlay};
+use simnet::NodeId;
+
+/// Who offers which service, plus the DHT registry used to discover it.
+#[derive(Clone, Debug)]
+pub struct ServiceDirectory {
+    /// `offers[node]` = sorted service ids hosted by that node.
+    offers: Vec<Vec<ServiceId>>,
+    /// DHT storing `hash(service name) → provider node ids`.
+    dht: Dht<NodeId>,
+    /// Cached service-name hashes, indexed by `ServiceId`.
+    keys: Vec<NodeKey>,
+}
+
+impl ServiceDirectory {
+    /// Assigns `per_node` distinct services to each of `n` nodes uniformly
+    /// at random (the paper's setup: 10 services, 5 per node on 32 nodes
+    /// ⇒ mean replication 16), registers everything in the DHT, and
+    /// returns the directory.
+    pub fn random_assignment(
+        catalog: &ServiceCatalog,
+        overlay: &Overlay,
+        n: usize,
+        per_node: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(per_node <= catalog.len(), "cannot host more than exist");
+        let mut rng = SimRng::new(seed ^ 0x504C4143_454D4E54);
+        let keys: Vec<NodeKey> = catalog
+            .iter()
+            .map(|s| stable_hash128(s.name.as_bytes()))
+            .collect();
+        let mut offers = Vec::with_capacity(n);
+        let mut dht = Dht::new(n, 2);
+        for node in 0..n {
+            let mut picks = rng.sample_indices(catalog.len(), per_node);
+            picks.sort_unstable();
+            for &s in &picks {
+                dht.insert(overlay, node, keys[s], node);
+            }
+            offers.push(picks);
+        }
+        // Guarantee coverage: every service must have at least one
+        // provider or no request naming it can ever be composed. Assign
+        // orphans to deterministic hosts.
+        for (s, &key) in keys.iter().enumerate() {
+            if !offers.iter().any(|o| o.contains(&s)) {
+                let node = s % n;
+                offers[node].push(s);
+                offers[node].sort_unstable();
+                dht.insert(overlay, node, key, node);
+            }
+        }
+        ServiceDirectory { offers, dht, keys }
+    }
+
+    /// Explicit assignment (tests, examples): `offers[node]` lists the
+    /// services node hosts.
+    pub fn explicit(
+        catalog: &ServiceCatalog,
+        overlay: &Overlay,
+        offers: Vec<Vec<ServiceId>>,
+    ) -> Self {
+        let keys: Vec<NodeKey> = catalog
+            .iter()
+            .map(|s| stable_hash128(s.name.as_bytes()))
+            .collect();
+        let mut dht = Dht::new(offers.len(), 2);
+        for (node, served) in offers.iter().enumerate() {
+            for &s in served {
+                assert!(s < catalog.len(), "unknown service {s}");
+                dht.insert(overlay, node, keys[s], node);
+            }
+        }
+        ServiceDirectory { offers, dht, keys }
+    }
+
+    /// The services node `v` hosts.
+    pub fn services_of(&self, v: NodeId) -> &[ServiceId] {
+        &self.offers[v]
+    }
+
+    /// Whether `v` hosts service `s` (providers can instantiate any number
+    /// of components of their services).
+    pub fn hosts(&self, v: NodeId, s: ServiceId) -> bool {
+        self.offers[v].contains(&s)
+    }
+
+    /// Discovers the providers of `service` by DHT lookup from `from`.
+    /// Returns the provider set and the overlay route the query took
+    /// (charged to the network by the engine).
+    pub fn discover(
+        &self,
+        overlay: &Overlay,
+        from: NodeId,
+        service: ServiceId,
+    ) -> (Vec<NodeId>, Vec<usize>) {
+        let r = self.dht.lookup(overlay, from, self.keys[service]);
+        (r.values, r.path)
+    }
+
+    /// Ground-truth provider list (no DHT traversal) — used by validators
+    /// and tests to cross-check discovery.
+    pub fn providers(&self, service: ServiceId) -> Vec<NodeId> {
+        (0..self.offers.len())
+            .filter(|&v| self.hosts(v, service))
+            .collect()
+    }
+
+    /// Removes a failed node's registrations and re-replicates the
+    /// registry (the failed node's services die with it; surviving
+    /// replicas keep every other registration discoverable).
+    pub fn handle_failure(&mut self, overlay: &Overlay, failed: NodeId) {
+        let served = std::mem::take(&mut self.offers[failed]);
+        for s in served {
+            self.dht.remove(overlay, self.keys[s], &failed);
+        }
+        self.dht.repair(overlay);
+    }
+
+    /// Mean number of providers per service (the paper's "replication
+    /// degree", 16 in its setup).
+    pub fn mean_replication(&self) -> f64 {
+        let total: usize = (0..self.keys.len())
+            .map(|s| self.providers(s).len())
+            .sum();
+        total as f64 / self.keys.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(_: usize, _: usize) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn paper_setup_replication_degree() {
+        // 32 nodes × 5 services each over 10 services ⇒ mean 16.
+        let catalog = ServiceCatalog::synthetic(10, 1);
+        let ov = Overlay::build(32, 1, &flat);
+        let dir = ServiceDirectory::random_assignment(&catalog, &ov, 32, 5, 1);
+        let total: usize = (0..32).map(|v| dir.services_of(v).len()).sum();
+        assert!(total >= 32 * 5, "coverage fix may only add services");
+        assert!((dir.mean_replication() - total as f64 / 10.0).abs() < 1e-9);
+        assert!(dir.mean_replication() >= 16.0);
+    }
+
+    #[test]
+    fn every_service_has_a_provider() {
+        let catalog = ServiceCatalog::synthetic(10, 2);
+        let ov = Overlay::build(4, 2, &flat);
+        // 4 nodes × 2 services = 8 slots < 10 services: coverage fix kicks in.
+        let dir = ServiceDirectory::random_assignment(&catalog, &ov, 4, 2, 2);
+        for s in 0..10 {
+            assert!(!dir.providers(s).is_empty(), "service {s} unprovided");
+        }
+    }
+
+    #[test]
+    fn discovery_matches_ground_truth() {
+        let catalog = ServiceCatalog::synthetic(6, 3);
+        let ov = Overlay::build(16, 3, &flat);
+        let dir = ServiceDirectory::random_assignment(&catalog, &ov, 16, 3, 3);
+        for s in 0..6 {
+            let truth = dir.providers(s);
+            for from in [0, 5, 15] {
+                let (mut found, path) = dir.discover(&ov, from, s);
+                found.sort_unstable();
+                assert_eq!(found, truth, "service {s} from {from}");
+                assert_eq!(path[0], from);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_respected() {
+        let catalog = ServiceCatalog::synthetic(3, 4);
+        let ov = Overlay::build(3, 4, &flat);
+        let dir =
+            ServiceDirectory::explicit(&catalog, &ov, vec![vec![0, 1], vec![1], vec![2]]);
+        assert!(dir.hosts(0, 0));
+        assert!(dir.hosts(0, 1));
+        assert!(!dir.hosts(1, 0));
+        assert_eq!(dir.providers(1), vec![0, 1]);
+        let (found, _) = dir.discover(&ov, 2, 2);
+        assert_eq!(found, vec![2]);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let catalog = ServiceCatalog::synthetic(10, 5);
+        let ov = Overlay::build(8, 5, &flat);
+        let a = ServiceDirectory::random_assignment(&catalog, &ov, 8, 4, 9);
+        let b = ServiceDirectory::random_assignment(&catalog, &ov, 8, 4, 9);
+        for v in 0..8 {
+            assert_eq!(a.services_of(v), b.services_of(v));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The greedy baseline (§4.1): each service goes to the feasible host
+//! with the smallest drop ratio.
+//!
+//! The statistics are read once per composition (the view is a snapshot),
+//! so — exactly as the paper critiques in §4.2 — greedy "keeps creating
+//! components on nodes with low miss ratio, until their maximum capacity
+//! is reached": within a request, every service piles onto the same
+//! lowest-drop host as long as capacity remains.
+
+use super::single::{compose_single_placement, PickFn};
+use super::{ComposeError, Composer, ProviderMap};
+use crate::model::{ExecutionGraph, ServiceCatalog, ServiceRequest};
+use crate::view::SystemView;
+use desim::SimRng;
+
+/// Places each service on the feasible host with the lowest drop ratio
+/// (ties broken by lowest node id, deterministically).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyComposer;
+
+impl Composer for GreedyComposer {
+    fn compose(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &mut SystemView,
+        rng: &mut SimRng,
+    ) -> Result<ExecutionGraph, ComposeError> {
+        let pick: PickFn<'_> = &mut |feasible, view, _rng| {
+            *feasible
+                .iter()
+                .min_by(|&&a, &&b| {
+                    view.drop_ratio(a)
+                        .partial_cmp(&view.drop_ratio(b))
+                        .expect("drop ratios are finite")
+                        .then(a.cmp(&b))
+                })
+                .expect("feasible set checked non-empty")
+        };
+        compose_single_placement(req, catalog, providers, view, rng, pick)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Composer;
+    use crate::model::ServiceCatalog;
+    use desim::SimDuration;
+    use simnet::Topology;
+    use std::collections::HashMap;
+
+    fn setup() -> (ServiceCatalog, SystemView, ProviderMap) {
+        let catalog = ServiceCatalog::synthetic(2, 1);
+        let view = SystemView::fresh(&Topology::uniform(
+            6,
+            1_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        let mut providers = HashMap::new();
+        providers.insert(0usize, vec![1, 2, 3]);
+        providers.insert(1usize, vec![1, 2, 3]);
+        (catalog, view, providers)
+    }
+
+    #[test]
+    fn picks_lowest_drop_ratio() {
+        let (catalog, mut view, providers) = setup();
+        view.set_drop_ratio(1, 0.3);
+        view.set_drop_ratio(2, 0.05);
+        view.set_drop_ratio(3, 0.2);
+        let req = ServiceRequest::chain(&[0], 10.0, 0, 5);
+        let g = GreedyComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(g.substreams[0][0].placements[0].node, 2);
+    }
+
+    #[test]
+    fn piles_every_service_onto_the_best_node() {
+        let (catalog, mut view, providers) = setup();
+        view.set_drop_ratio(1, 0.3);
+        view.set_drop_ratio(2, 0.05);
+        view.set_drop_ratio(3, 0.2);
+        // Both services fit on node 2 (10+10 du/s ≪ 122): greedy stacks.
+        let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 5);
+        let g = GreedyComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(g.substreams[0][0].placements[0].node, 2);
+        assert_eq!(g.substreams[0][1].placements[0].node, 2);
+    }
+
+    #[test]
+    fn spills_to_next_best_when_best_is_full() {
+        let (catalog, mut view, providers) = setup();
+        view.set_drop_ratio(1, 0.3);
+        view.set_drop_ratio(2, 0.05);
+        view.set_drop_ratio(3, 0.2);
+        // Fill node 2 down to ~17 du/s of headroom: room for one 10 du/s
+        // component but not two.
+        view.reserve_component(2, 8192, 1.0, 105.0);
+        let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 5);
+        let g = GreedyComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        // Node 2 can still fit one 10 du/s component but not two.
+        let nodes: Vec<_> = g.substreams[0]
+            .iter()
+            .map(|s| s.placements[0].node)
+            .collect();
+        assert_eq!(nodes, vec![2, 3]);
+    }
+
+    #[test]
+    fn tie_breaks_deterministically() {
+        let (catalog, view, providers) = setup();
+        let req = ServiceRequest::chain(&[0], 10.0, 0, 5);
+        // All drop ratios zero: lowest node id (1) wins, repeatably.
+        for seed in 0..5 {
+            let mut v = view.clone();
+            let g = GreedyComposer
+                .compose(&req, &catalog, &providers, &mut v, &mut SimRng::new(seed))
+                .unwrap();
+            assert_eq!(g.substreams[0][0].placements[0].node, 1);
+        }
+    }
+}

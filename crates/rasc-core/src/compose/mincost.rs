@@ -1,0 +1,496 @@
+//! RASC's minimum-cost composition (paper §3.5, Algorithm 1).
+//!
+//! Per substream, a layered composition graph is built over the candidate
+//! hosts of each service in the chain and solved as a minimum-cost flow:
+//!
+//! ```text
+//!  SRC ──cap: source uplink──> ┌layer 0┐      ┌layer 1┐       ──> DST
+//!        cost: drops(source)   │ n_a ■ │ ───> │ n_c ■ │  ...
+//!                              │ n_b ■ │      │ n_d ■ │
+//!                              └───────┘      └───────┘
+//! ```
+//!
+//! Each candidate host is *node-split*: an internal arc carries capacity
+//! `r_max(c_i, n) = min(b_in, b_out)/u` (the most scarce NIC resource,
+//! §3.5) and cost equal to the host's observed drop ratio — so flow
+//! through a host is bounded by what it can ingest/forward and priced by
+//! how congested it recently was. Inter-layer arcs are free and
+//! uncapacitated (the paper's rule: an edge's capacity is the maximum
+//! incoming rate of the node at its end, which the node-split expresses
+//! exactly once per host rather than once per edge).
+//!
+//! Rate ratios ≠ 1 are handled exactly for chain substreams: every path
+//! through layer `i` has seen the same cumulative gain `g_i = Π_{j<i} R_j`
+//! (paths differ in hosts, never in services), so capacities are expressed
+//! in *source-rate units* by dividing by `g_i`, reducing the generalized
+//! problem to a plain min-cost flow.
+//!
+//! After each substream is solved its placements are reserved in the
+//! view, so later substreams (and later requests) see reduced capacity —
+//! Algorithm 1's "update the node capacities" step.
+
+use super::{
+    apply_reservations, gain_prefix, precheck, ComposeError, Composer, ProviderMap,
+};
+use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
+use crate::view::SystemView;
+use desim::SimRng;
+use mincostflow::{min_cost_flow, Algorithm, FlowNetwork};
+use std::sync::Arc;
+
+/// Rates are scaled to integer milli-data-units/second for the solver.
+const RATE_SCALE: f64 = 1000.0;
+/// Drop ratios are scaled to integer milli-drops for arc costs.
+const COST_SCALE: f64 = 1000.0;
+/// Weight of the utilization term in arc costs. The paper's cost is the
+/// *expected* number of dropped units (Eq. 1), estimated from feedback;
+/// since "the probability of dropping a data unit increases with the
+/// load of a node" (§2.2), the estimate combines the observed window
+/// ratio with a load-proportional prior. The prior is an order of
+/// magnitude weaker, so observed drops always dominate; it breaks ties
+/// on a fresh system so the solver spreads load instead of packing the
+/// first zero-cost host it finds.
+const UTIL_WEIGHT: f64 = 100.0;
+/// "Uncapacitated" arcs: far above any node capacity after scaling.
+const INF_CAP: i64 = i64::MAX / 8;
+/// Cost per millisecond of link latency on transfer edges. Small against
+/// drops (0–1000) and utilization (0–100): it never overrides congestion
+/// signals, but among equally-loaded hosts it clusters consecutive
+/// stages — and the branches of a split — on nearby nodes, which keeps
+/// end-to-end delay down and bounds the inter-branch latency skew that
+/// splitting would otherwise convert into out-of-order deliveries (the
+/// "timing and synchronization problems" the paper's §4.2 discusses).
+const LATENCY_WEIGHT: f64 = 0.5;
+
+/// One-way link latencies in milliseconds, shared with the engine.
+#[derive(Clone, Debug)]
+pub struct LatencyMatrix {
+    n: usize,
+    ms: Vec<f64>,
+}
+
+impl LatencyMatrix {
+    /// Builds a matrix from a row-major `n × n` table.
+    pub fn new(n: usize, ms: Vec<f64>) -> Self {
+        assert_eq!(ms.len(), n * n, "latency table must be n x n");
+        LatencyMatrix { n, ms }
+    }
+
+    /// One-way latency `u → v` in milliseconds.
+    pub fn get(&self, u: usize, v: usize) -> f64 {
+        self.ms[u * self.n + v]
+    }
+}
+
+/// The RASC composer.
+#[derive(Clone, Debug, Default)]
+pub struct MinCostComposer {
+    /// Which min-cost flow algorithm to run (ablation hook).
+    pub algorithm: Algorithm,
+    /// Optional link latencies; when present, transfer edges carry a
+    /// small latency-proportional cost (see [`LATENCY_WEIGHT`]).
+    pub latencies: Option<Arc<LatencyMatrix>>,
+}
+
+impl Composer for MinCostComposer {
+    fn compose(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &mut SystemView,
+        _rng: &mut SimRng,
+    ) -> Result<ExecutionGraph, ComposeError> {
+        precheck(req, catalog, providers)?;
+        let backup = view.clone();
+        let mut substream_stages = Vec::with_capacity(req.graph.substreams.len());
+        for (l, sub) in req.graph.substreams.iter().enumerate() {
+            match self.compose_substream(req, catalog, providers, view, l) {
+                Ok(stages) => {
+                    // Reserve before the next substream (Algorithm 1).
+                    let partial = ExecutionGraph {
+                        substreams: vec![stages.clone()],
+                    };
+                    let partial_req = one_substream_request(req, l, sub.services.clone());
+                    apply_reservations(&partial_req, catalog, &partial, view);
+                    substream_stages.push(stages);
+                }
+                Err(e) => {
+                    *view = backup;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ExecutionGraph {
+            substreams: substream_stages,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "mincost"
+    }
+}
+
+/// A single-substream copy of `req` (for reservation bookkeeping).
+fn one_substream_request(
+    req: &ServiceRequest,
+    l: usize,
+    services: Vec<usize>,
+) -> ServiceRequest {
+    ServiceRequest {
+        graph: crate::model::ServiceRequestGraph {
+            substreams: vec![crate::model::Substream { services }],
+        },
+        rates: vec![req.rates[l]],
+        source: req.source,
+        destination: req.destination,
+        unit_bits: req.unit_bits,
+        lifetime: req.lifetime,
+    }
+}
+
+impl MinCostComposer {
+    /// Creates a composer running a specific flow algorithm.
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        MinCostComposer {
+            algorithm,
+            latencies: None,
+        }
+    }
+
+    /// Attaches link latencies for latency-aware transfer costs.
+    pub fn with_latencies(mut self, latencies: Arc<LatencyMatrix>) -> Self {
+        self.latencies = Some(latencies);
+        self
+    }
+
+    /// Transfer-edge cost between two hosts.
+    fn hop_cost(&self, from: usize, to: usize) -> i64 {
+        match &self.latencies {
+            Some(m) => (m.get(from, to) * LATENCY_WEIGHT).round() as i64,
+            None => 0,
+        }
+    }
+
+    fn compose_substream(
+        &self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &SystemView,
+        l: usize,
+    ) -> Result<Vec<Stage>, ComposeError> {
+        let services = &req.graph.substreams[l].services;
+        let gains = gain_prefix(catalog, services);
+        let delivery_gain = gains[services.len()];
+        // Required flow in source-rate units.
+        let source_rate = req.rates[l] / delivery_gain;
+        let target = (source_rate * RATE_SCALE).round() as i64;
+        if target == 0 {
+            return Err(ComposeError::InsufficientCapacity { substream: l });
+        }
+
+        let mut net = FlowNetwork::new(2);
+        let src = 0usize;
+        let dst = 1usize;
+
+        // Source uplink: SRC -> gate, capacity = remaining output rate of
+        // the origin node (in source units, which *are* its native units),
+        // cost = the origin's drop ratio.
+        let src_gate = net.add_node();
+        net.add_edge(
+            src,
+            src_gate,
+            to_milli(view.out_rate_capacity(req.source, req.unit_bits)),
+            cost_of(view, req.source),
+        );
+
+        // Per layer: candidate hosts, each node-split.
+        let mut layer_nodes: Vec<Vec<(usize, usize, usize)>> = Vec::new(); // (in, out, host)
+        let mut internal_edges: Vec<Vec<mincostflow::EdgeId>> = Vec::new();
+        for (i, &service) in services.iter().enumerate() {
+            let ratio = catalog.get(service).rate_ratio;
+            let hosts = &providers[&service];
+            let mut this_layer = Vec::with_capacity(hosts.len());
+            let mut this_edges = Vec::with_capacity(hosts.len());
+            let exec_secs = catalog.get(service).exec_time.as_secs_f64();
+            for &host in hosts {
+                let v_in = net.add_node();
+                let v_out = net.add_node();
+                // Native r_max expressed in source units (divide by gain),
+                // bounded by the host's NICs and (when enabled) its CPU.
+                let native = view.max_rate_with_cpu(host, req.unit_bits, ratio, exec_secs);
+                let cap = to_milli(native / gains[i]);
+                let e = net.add_edge(v_in, v_out, cap, cost_of(view, host));
+                this_layer.push((v_in, v_out, host));
+                this_edges.push(e);
+            }
+            // Wire from previous layer (or the source gate).
+            match layer_nodes.last() {
+                None => {
+                    for &(v_in, _, host) in &this_layer {
+                        net.add_edge(src_gate, v_in, INF_CAP, self.hop_cost(req.source, host));
+                    }
+                }
+                Some(prev) => {
+                    let pairs: Vec<(usize, usize, usize, usize)> = prev
+                        .iter()
+                        .flat_map(|&(_, p_out, p_host)| {
+                            this_layer
+                                .iter()
+                                .map(move |&(v_in, _, host)| (p_out, p_host, v_in, host))
+                        })
+                        .collect();
+                    for (p_out, p_host, v_in, host) in pairs {
+                        net.add_edge(p_out, v_in, INF_CAP, self.hop_cost(p_host, host));
+                    }
+                }
+            }
+            layer_nodes.push(this_layer);
+            internal_edges.push(this_edges);
+        }
+
+        // Destination downlink, in source units.
+        let dst_gate = net.add_node();
+        for &(_, v_out, host) in layer_nodes.last().expect("non-empty substream") {
+            net.add_edge(v_out, dst_gate, INF_CAP, self.hop_cost(host, req.destination));
+        }
+        net.add_edge(
+            dst_gate,
+            dst,
+            to_milli(view.in_rate_capacity(req.destination, req.unit_bits) / delivery_gain),
+            cost_of(view, req.destination),
+        );
+
+        match min_cost_flow(&mut net, src, dst, target, self.algorithm) {
+            Ok(_) => {}
+            Err(_) => return Err(ComposeError::InsufficientCapacity { substream: l }),
+        }
+
+        // Read placements off the internal edges.
+        let mut stages = Vec::with_capacity(services.len());
+        for (i, &service) in services.iter().enumerate() {
+            let mut placements = Vec::new();
+            for (slot, &(_, _, host)) in layer_nodes[i].iter().enumerate() {
+                let flow = net.flow_on(internal_edges[i][slot]);
+                if flow > 0 {
+                    // Convert back to the host's native ingest rate.
+                    let native = flow as f64 / RATE_SCALE * gains[i];
+                    placements.push(Placement {
+                        node: host,
+                        rate: native,
+                    });
+                }
+            }
+            debug_assert!(!placements.is_empty(), "positive flow crosses every layer");
+            stages.push(Stage {
+                service,
+                placements,
+            });
+        }
+        Ok(stages)
+    }
+}
+
+#[inline]
+fn to_milli(rate: f64) -> i64 {
+    (rate.max(0.0) * RATE_SCALE).floor() as i64
+}
+
+/// Arc cost of routing through a host: observed drop ratio plus the
+/// load-proportional prior (see [`UTIL_WEIGHT`]).
+#[inline]
+fn cost_of(view: &SystemView, host: simnet::NodeId) -> i64 {
+    let observed = (view.drop_ratio(host).clamp(0.0, 1.0) * COST_SCALE).round() as i64;
+    let prior = (view.utilization(host) * UTIL_WEIGHT).round() as i64;
+    observed + prior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServiceCatalog;
+    use desim::{SimDuration, SimRng};
+    use simnet::{kbps, Topology, TopologyBuilder};
+
+    fn providers_for(pairs: &[(usize, &[usize])]) -> ProviderMap {
+        pairs
+            .iter()
+            .map(|&(s, hosts)| (s, hosts.to_vec()))
+            .collect()
+    }
+
+    /// 4 nodes at 1 Mbps; node 0 = source, node 3 = destination.
+    fn flat_view() -> SystemView {
+        SystemView::fresh(&Topology::uniform(
+            4,
+            1_000_000.0,
+            SimDuration::from_millis(10),
+        ))
+    }
+
+    #[test]
+    fn single_host_carries_whole_rate() {
+        let catalog = ServiceCatalog::synthetic(1, 1);
+        let mut view = flat_view();
+        let req = ServiceRequest::chain(&[0], 20.0, 0, 3);
+        let providers = providers_for(&[(0, &[1])]);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(g.substreams.len(), 1);
+        let stage = &g.substreams[0][0];
+        assert_eq!(stage.placements.len(), 1);
+        assert_eq!(stage.placements[0].node, 1);
+        assert!((stage.total_rate() - 20.0).abs() < 1e-6);
+        assert!(!g.has_splitting());
+        // Reservations applied: node 1 lost 20 du/s both ways.
+        let expect = 1_000_000.0 / 8192.0 - 20.0;
+        assert!((view.in_rate_capacity(1, 8192) - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn splits_when_one_host_is_too_small() {
+        // Host 1 can take only ~60 du/s (500 Kbps NICs), host 2 is big.
+        let catalog = ServiceCatalog::synthetic(1, 2);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 0: source
+        b.node(kbps(500.0), kbps(500.0)); // 1: small host
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 2: big host
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 3: destination
+        let mut view = SystemView::fresh(&b.build());
+        // Make host 2 look congested so the solver prefers host 1 first.
+        view.set_drop_ratio(2, 0.2);
+        let req = ServiceRequest::chain(&[0], 100.0, 0, 3);
+        let providers = providers_for(&[(0, &[1, 2])]);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        let stage = &g.substreams[0][0];
+        assert_eq!(stage.placements.len(), 2, "expected rate splitting");
+        assert!(g.has_splitting());
+        assert!((stage.total_rate() - 100.0).abs() < 1e-3);
+        // The cheap small host is saturated (~61 du/s), remainder spills.
+        let small = stage.placements.iter().find(|p| p.node == 1).unwrap();
+        assert!(small.rate > 55.0 && small.rate < 62.0, "small {}", small.rate);
+    }
+
+    #[test]
+    fn prefers_low_drop_hosts() {
+        let catalog = ServiceCatalog::synthetic(1, 3);
+        let mut view = flat_view();
+        view.set_drop_ratio(1, 0.5);
+        view.set_drop_ratio(2, 0.01);
+        let req = ServiceRequest::chain(&[0], 10.0, 0, 3);
+        let providers = providers_for(&[(0, &[1, 2])]);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        let stage = &g.substreams[0][0];
+        assert_eq!(stage.placements.len(), 1);
+        assert_eq!(stage.placements[0].node, 2);
+    }
+
+    #[test]
+    fn rejects_when_capacity_missing_and_view_untouched() {
+        let catalog = ServiceCatalog::synthetic(1, 4);
+        let mut view = flat_view();
+        let before = view.clone();
+        // 1 Mbps NIC ≈ 122 du/s; ask for 400.
+        let req = ServiceRequest::chain(&[0], 400.0, 0, 3);
+        let providers = providers_for(&[(0, &[1, 2])]);
+        let err = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap_err();
+        assert_eq!(err, ComposeError::InsufficientCapacity { substream: 0 });
+        for v in 0..4 {
+            assert_eq!(view.avail(v), before.avail(v), "view mutated at {v}");
+        }
+    }
+
+    #[test]
+    fn splitting_admits_what_single_placement_cannot() {
+        // Two 500 Kbps hosts: each caps at ~61 du/s, together 122.
+        let catalog = ServiceCatalog::synthetic(1, 5);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        b.node(kbps(10_000.0), kbps(10_000.0));
+        b.node(kbps(500.0), kbps(500.0));
+        b.node(kbps(500.0), kbps(500.0));
+        b.node(kbps(10_000.0), kbps(10_000.0));
+        let mut view = SystemView::fresh(&b.build());
+        let req = ServiceRequest::chain(&[0], 100.0, 0, 3);
+        let providers = providers_for(&[(0, &[1, 2])]);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(g.substreams[0][0].placements.len(), 2);
+    }
+
+    #[test]
+    fn multi_substream_updates_capacity_between_solves() {
+        // Destination downlink fits 122 du/s total; two substreams of 70
+        // each must fail on the second solve.
+        let catalog = ServiceCatalog::synthetic(2, 6);
+        let mut view = flat_view();
+        let req = ServiceRequest::multi(vec![vec![0], vec![1]], vec![70.0, 70.0], 0, 3);
+        let providers = providers_for(&[(0, &[1]), (1, &[2])]);
+        let err = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap_err();
+        assert_eq!(err, ComposeError::InsufficientCapacity { substream: 1 });
+        // A pair that fits together is accepted.
+        let req2 = ServiceRequest::multi(vec![vec![0], vec![1]], vec![50.0, 50.0], 0, 3);
+        let g = MinCostComposer::default()
+            .compose(&req2, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(g.substreams.len(), 2);
+    }
+
+    #[test]
+    fn rate_ratio_scales_downstream_capacity() {
+        // Service 0 doubles the rate (R=2): a downstream-ish check that
+        // delivery of 40 du/s needs only 20 du/s ingest at the component.
+        let catalog = ServiceCatalog::new(vec![crate::model::Service {
+            id: 0,
+            name: "upsample".into(),
+            exec_time: SimDuration::from_millis(2),
+            rate_ratio: 2.0,
+        }]);
+        let mut view = flat_view();
+        let req = ServiceRequest::chain(&[0], 40.0, 0, 3);
+        let providers = providers_for(&[(0, &[1])]);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        let stage = &g.substreams[0][0];
+        assert!((stage.total_rate() - 20.0).abs() < 1e-6, "{}", stage.total_rate());
+    }
+
+    #[test]
+    fn all_flow_algorithms_give_equal_cost_compositions() {
+        use mincostflow::Algorithm;
+        let catalog = ServiceCatalog::synthetic(2, 7);
+        let req = ServiceRequest::chain(&[0, 1], 90.0, 0, 3);
+        let providers = providers_for(&[(0, &[1, 2]), (1, &[1, 2])]);
+        let run = |alg| {
+            let mut view = flat_view();
+            view.set_drop_ratio(1, 0.1);
+            MinCostComposer::with_algorithm(alg)
+                .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+                .map(|g| {
+                    // Total "cost" proxy: rate-weighted drop ratio.
+                    g.substreams
+                        .iter()
+                        .flatten()
+                        .flat_map(|s| s.placements.iter())
+                        .map(|p| p.rate * if p.node == 1 { 0.1 } else { 0.0 })
+                        .sum::<f64>()
+                })
+        };
+        let a = run(Algorithm::DijkstraSsp).unwrap();
+        let b = run(Algorithm::SpfaSsp).unwrap();
+        let c = run(Algorithm::CostScaling).unwrap();
+        assert!((a - b).abs() < 1e-6);
+        assert!((a - c).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,247 @@
+//! Application composition (paper §3.5 and §4.1 baselines).
+//!
+//! Given a request, a composer chooses which node(s) instantiate each
+//! service of each substream and at what rate, subject to the bandwidth
+//! availability in the [`SystemView`]. Three algorithms are provided:
+//!
+//! * [`MinCostComposer`] — **RASC**: per substream, a layered composition
+//!   graph over the candidate hosts is solved as a minimum-cost flow
+//!   (capacity = `r_max` of the host, cost = its observed drop ratio);
+//!   the flow splits a service across hosts whenever that is cheaper or
+//!   necessary (Algorithm 1),
+//! * [`RandomComposer`] — places each service on one uniformly random
+//!   host with sufficient capacity,
+//! * [`GreedyComposer`] — places each service on the feasible host with
+//!   the smallest drop ratio, reading the statistics once per composition
+//!   (so it keeps piling onto the currently-best nodes, the behaviour the
+//!   paper critiques in §4.2).
+//!
+//! All composers apply the same admission rule: if any substream cannot
+//! be carried within remaining capacities, the whole request is rejected
+//! and the view is left untouched (reservations are rolled back).
+
+mod greedy;
+mod single;
+mod mincost;
+mod random;
+
+pub use greedy::GreedyComposer;
+pub use mincost::{LatencyMatrix, MinCostComposer};
+pub use random::RandomComposer;
+
+use crate::model::{ExecutionGraph, ServiceCatalog, ServiceId, ServiceRequest};
+use crate::view::SystemView;
+use desim::SimRng;
+use simnet::NodeId;
+use std::collections::HashMap;
+
+/// The provider sets discovered for the services a request names.
+pub type ProviderMap = HashMap<ServiceId, Vec<NodeId>>;
+
+/// Why a request could not be composed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ComposeError {
+    /// A requested service has no (known) provider.
+    NoProviders(ServiceId),
+    /// A substream's rate cannot be carried within remaining capacities.
+    InsufficientCapacity {
+        /// Index of the substream that failed.
+        substream: usize,
+    },
+    /// The request names a service outside the catalog.
+    UnknownService(ServiceId),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::NoProviders(s) => write!(f, "no providers for service {s}"),
+            ComposeError::InsufficientCapacity { substream } => {
+                write!(f, "insufficient capacity for substream {substream}")
+            }
+            ComposeError::UnknownService(s) => write!(f, "unknown service {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// A composition algorithm.
+///
+/// On `Ok`, the returned execution graph's reservations have been applied
+/// to `view`; on `Err`, `view` is unchanged.
+pub trait Composer {
+    /// Composes `req` against the current system view.
+    fn compose(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &mut SystemView,
+        rng: &mut SimRng,
+    ) -> Result<ExecutionGraph, ComposeError>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which composer an engine runs (select-by-config for experiments).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ComposerKind {
+    /// RASC's minimum-cost composition.
+    #[default]
+    MinCost,
+    /// Uniform-random placement baseline.
+    Random,
+    /// Smallest-drop-ratio placement baseline.
+    Greedy,
+}
+
+impl ComposerKind {
+    /// Instantiates the composer.
+    pub fn build(self) -> Box<dyn Composer> {
+        match self {
+            ComposerKind::MinCost => Box::new(MinCostComposer::default()),
+            ComposerKind::Random => Box::new(RandomComposer),
+            ComposerKind::Greedy => Box::new(GreedyComposer),
+        }
+    }
+
+    /// Display label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComposerKind::MinCost => "mincost",
+            ComposerKind::Random => "random",
+            ComposerKind::Greedy => "greedy",
+        }
+    }
+
+    /// All kinds, in the order the paper's figures list them.
+    pub const ALL: [ComposerKind; 3] =
+        [ComposerKind::MinCost, ComposerKind::Random, ComposerKind::Greedy];
+}
+
+/// Pre-checks shared by all composers. Returns an error if a named
+/// service is unknown or has no provider.
+pub(crate) fn precheck(
+    req: &ServiceRequest,
+    catalog: &ServiceCatalog,
+    providers: &ProviderMap,
+) -> Result<(), ComposeError> {
+    for sub in &req.graph.substreams {
+        for &s in &sub.services {
+            if s >= catalog.len() {
+                return Err(ComposeError::UnknownService(s));
+            }
+            if providers.get(&s).is_none_or(|p| p.is_empty()) {
+                return Err(ComposeError::NoProviders(s));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The cumulative rate gain before each stage of a substream: `g[i]` is
+/// the factor by which the source rate has been scaled when entering
+/// stage `i`; `g[len]` is the delivery-side gain. With unit rate ratios
+/// (the paper's evaluated case) every entry is 1.
+pub(crate) fn gain_prefix(catalog: &ServiceCatalog, services: &[ServiceId]) -> Vec<f64> {
+    let mut g = Vec::with_capacity(services.len() + 1);
+    let mut acc = 1.0;
+    g.push(acc);
+    for &s in services {
+        acc *= catalog.get(s).rate_ratio;
+        g.push(acc);
+    }
+    g
+}
+
+/// Applies an execution graph's bandwidth reservations to the view
+/// (components, source uplink, destination downlink).
+pub(crate) fn apply_reservations(
+    req: &ServiceRequest,
+    catalog: &ServiceCatalog,
+    graph: &ExecutionGraph,
+    view: &mut SystemView,
+) {
+    for (l, stages) in graph.substreams.iter().enumerate() {
+        let services = &req.graph.substreams[l].services;
+        let gains = gain_prefix(catalog, services);
+        let source_rate = req.rates[l] / gains[services.len()];
+        view.reserve_source(req.source, req.unit_bits, source_rate);
+        view.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
+        for stage in stages {
+            let svc = catalog.get(stage.service);
+            for p in &stage.placements {
+                view.reserve_component(p.node, req.unit_bits, svc.rate_ratio, p.rate);
+                view.reserve_cpu(p.node, svc.exec_time.as_secs_f64(), p.rate);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Service;
+    use desim::SimDuration;
+
+    fn catalog_with_ratios(ratios: &[f64]) -> ServiceCatalog {
+        ServiceCatalog::new(
+            ratios
+                .iter()
+                .enumerate()
+                .map(|(id, &r)| Service {
+                    id,
+                    name: format!("s{id}"),
+                    exec_time: SimDuration::from_millis(2),
+                    rate_ratio: r,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn gain_prefix_multiplies() {
+        let c = catalog_with_ratios(&[2.0, 0.5, 3.0]);
+        let g = gain_prefix(&c, &[0, 1, 2]);
+        assert_eq!(g, vec![1.0, 2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn precheck_flags_missing_providers() {
+        let c = catalog_with_ratios(&[1.0, 1.0]);
+        let req = ServiceRequest::chain(&[0, 1], 5.0, 0, 1);
+        let mut providers = ProviderMap::new();
+        providers.insert(0, vec![2]);
+        assert_eq!(
+            precheck(&req, &c, &providers),
+            Err(ComposeError::NoProviders(1))
+        );
+        providers.insert(1, vec![]);
+        assert_eq!(
+            precheck(&req, &c, &providers),
+            Err(ComposeError::NoProviders(1))
+        );
+        providers.insert(1, vec![3]);
+        assert_eq!(precheck(&req, &c, &providers), Ok(()));
+    }
+
+    #[test]
+    fn precheck_flags_unknown_service() {
+        let c = catalog_with_ratios(&[1.0]);
+        let req = ServiceRequest::chain(&[9], 5.0, 0, 1);
+        assert_eq!(
+            precheck(&req, &c, &ProviderMap::new()),
+            Err(ComposeError::UnknownService(9))
+        );
+    }
+
+    #[test]
+    fn kind_builds_matching_names() {
+        for kind in ComposerKind::ALL {
+            let c = kind.build();
+            assert_eq!(c.name(), kind.label());
+        }
+    }
+}

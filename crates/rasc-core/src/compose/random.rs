@@ -1,0 +1,99 @@
+//! The random-placement baseline (§4.1): one uniformly random feasible
+//! host per service, no splitting.
+
+use super::single::{compose_single_placement, PickFn};
+use super::{ComposeError, Composer, ProviderMap};
+use crate::model::{ExecutionGraph, ServiceCatalog, ServiceRequest};
+use crate::view::SystemView;
+use desim::SimRng;
+
+/// Places each service on one uniformly random host with enough capacity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomComposer;
+
+impl Composer for RandomComposer {
+    fn compose(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &mut SystemView,
+        rng: &mut SimRng,
+    ) -> Result<ExecutionGraph, ComposeError> {
+        let pick: PickFn<'_> = &mut |feasible, _view, rng| *rng.choose(feasible);
+        compose_single_placement(req, catalog, providers, view, rng, pick)
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Composer;
+    use crate::model::ServiceCatalog;
+    use desim::SimDuration;
+    use simnet::Topology;
+    use std::collections::HashMap;
+
+    fn setup() -> (ServiceCatalog, SystemView, ProviderMap) {
+        let catalog = ServiceCatalog::synthetic(2, 1);
+        let view = SystemView::fresh(&Topology::uniform(
+            6,
+            1_000_000.0,
+            SimDuration::from_millis(10),
+        ));
+        let mut providers = HashMap::new();
+        providers.insert(0usize, vec![1, 2, 3]);
+        providers.insert(1usize, vec![2, 3, 4]);
+        (catalog, view, providers)
+    }
+
+    #[test]
+    fn places_one_component_per_service() {
+        let (catalog, mut view, providers) = setup();
+        let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 5);
+        let g = RandomComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(3))
+            .unwrap();
+        assert_eq!(g.component_count(), 2);
+        assert!(!g.has_splitting());
+        for (stage, hosts) in g.substreams[0].iter().zip([vec![1, 2, 3], vec![2, 3, 4]]) {
+            assert_eq!(stage.placements.len(), 1);
+            assert!(hosts.contains(&stage.placements[0].node));
+            assert!((stage.total_rate() - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_choices() {
+        let (catalog, view, providers) = setup();
+        let req = ServiceRequest::chain(&[0], 10.0, 0, 5);
+        let mut nodes = std::collections::BTreeSet::new();
+        for seed in 0..20 {
+            let mut v = view.clone();
+            let g = RandomComposer
+                .compose(&req, &catalog, &providers, &mut v, &mut SimRng::new(seed))
+                .unwrap();
+            nodes.insert(g.substreams[0][0].placements[0].node);
+        }
+        assert!(nodes.len() >= 2, "random placement never varied: {nodes:?}");
+    }
+
+    #[test]
+    fn rejects_rates_no_single_host_can_carry() {
+        let (catalog, mut view, providers) = setup();
+        let before = view.clone();
+        // 1 Mbps host tops out at ~122 du/s.
+        let req = ServiceRequest::chain(&[0], 200.0, 0, 5);
+        let err = RandomComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap_err();
+        assert_eq!(err, ComposeError::InsufficientCapacity { substream: 0 });
+        for v in 0..6 {
+            assert_eq!(view.avail(v), before.avail(v));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared machinery for the single-placement baselines (random, greedy):
+//! one component per service, full substream rate, explicit endpoint
+//! capacity checks, all-or-nothing reservation.
+
+use super::{gain_prefix, precheck, ComposeError, ProviderMap};
+use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
+use crate::view::SystemView;
+use desim::SimRng;
+use simnet::NodeId;
+
+/// Chooses one host from a non-empty feasible set.
+pub type PickFn<'a> = &'a mut dyn FnMut(&[NodeId], &SystemView, &mut SimRng) -> NodeId;
+
+/// Composes `req` placing exactly one component per service invocation.
+/// Reserves capacity as it goes; rolls the view back entirely on failure.
+pub fn compose_single_placement(
+    req: &ServiceRequest,
+    catalog: &ServiceCatalog,
+    providers: &ProviderMap,
+    view: &mut SystemView,
+    rng: &mut SimRng,
+    pick: PickFn<'_>,
+) -> Result<ExecutionGraph, ComposeError> {
+    precheck(req, catalog, providers)?;
+    let backup = view.clone();
+    let mut substreams = Vec::with_capacity(req.graph.substreams.len());
+    for (l, sub) in req.graph.substreams.iter().enumerate() {
+        let gains = gain_prefix(catalog, &sub.services);
+        let delivery_gain = gains[sub.services.len()];
+        let source_rate = req.rates[l] / delivery_gain;
+        // Endpoint capacity checks (the flow formulation does these via
+        // edge capacities; here they are explicit).
+        if view.out_rate_capacity(req.source, req.unit_bits) < source_rate
+            || view.in_rate_capacity(req.destination, req.unit_bits) < req.rates[l]
+        {
+            *view = backup;
+            return Err(ComposeError::InsufficientCapacity { substream: l });
+        }
+        view.reserve_source(req.source, req.unit_bits, source_rate);
+        view.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
+
+        let mut stages = Vec::with_capacity(sub.services.len());
+        for (i, &service) in sub.services.iter().enumerate() {
+            let svc = catalog.get(service);
+            let ratio = svc.rate_ratio;
+            let exec_secs = svc.exec_time.as_secs_f64();
+            let ingest = source_rate * gains[i];
+            let feasible: Vec<NodeId> = providers[&service]
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    view.max_rate_with_cpu(n, req.unit_bits, ratio, exec_secs) >= ingest
+                })
+                .collect();
+            if feasible.is_empty() {
+                *view = backup;
+                return Err(ComposeError::InsufficientCapacity { substream: l });
+            }
+            let node = pick(&feasible, view, rng);
+            debug_assert!(feasible.contains(&node), "pick outside feasible set");
+            view.reserve_component(node, req.unit_bits, ratio, ingest);
+            view.reserve_cpu(node, exec_secs, ingest);
+            stages.push(Stage {
+                service,
+                placements: vec![Placement { node, rate: ingest }],
+            });
+        }
+        substreams.push(stages);
+    }
+    Ok(ExecutionGraph { substreams })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::Composer;
+    use crate::compose::{GreedyComposer, RandomComposer};
+    use crate::model::ServiceCatalog;
+    use desim::SimDuration;
+    use simnet::Topology;
+    use std::collections::HashMap;
+
+    /// Both baselines must reject exactly when the endpoints are the
+    /// bottleneck, leaving the view untouched.
+    #[test]
+    fn endpoint_bottleneck_rejects_and_rolls_back() {
+        let catalog = ServiceCatalog::synthetic(1, 1);
+        let mut view = SystemView::fresh(&Topology::uniform(
+            3,
+            1_000_000.0,
+            SimDuration::from_millis(5),
+        ));
+        // Exhaust the source's uplink.
+        view.reserve_source(0, 8192, 120.0);
+        let mut providers = HashMap::new();
+        providers.insert(0usize, vec![1]);
+        let req = ServiceRequest::chain(&[0], 10.0, 0, 2);
+        let before = view.clone();
+        for result in [
+            RandomComposer.compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0)),
+            GreedyComposer.compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0)),
+        ] {
+            assert!(matches!(
+                result,
+                Err(ComposeError::InsufficientCapacity { substream: 0 })
+            ));
+        }
+        for v in 0..3 {
+            assert_eq!(view.avail(v), before.avail(v));
+        }
+    }
+
+    /// Reservations accumulate within a multi-substream request, so a
+    /// shared middle host can run out halfway and the *whole* request
+    /// must roll back.
+    #[test]
+    fn partial_success_rolls_back_whole_request() {
+        let catalog = ServiceCatalog::synthetic(2, 2);
+        let mut view = SystemView::fresh(&Topology::uniform(
+            4,
+            1_000_000.0,
+            SimDuration::from_millis(5),
+        ));
+        let mut providers = HashMap::new();
+        providers.insert(0usize, vec![1]);
+        providers.insert(1usize, vec![1]);
+        // Node 1 fits 122 du/s; two substreams of 70 each exceed it.
+        let req = ServiceRequest::multi(vec![vec![0], vec![1]], vec![70.0, 70.0], 0, 3);
+        let before = view.clone();
+        let err = GreedyComposer
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap_err();
+        assert_eq!(err, ComposeError::InsufficientCapacity { substream: 1 });
+        for v in 0..4 {
+            assert_eq!(view.avail(v), before.avail(v));
+        }
+    }
+}

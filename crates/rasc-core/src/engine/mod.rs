@@ -1,0 +1,1338 @@
+//! The stream-processing runtime (paper §2.1, §3.1–§3.4).
+//!
+//! The engine ties every substrate together into the system the paper
+//! deployed on PlanetLab:
+//!
+//! 1. a request arrives at its source node; the engine **discovers** the
+//!    providers of each requested service through the Pastry DHT and
+//!    gathers their statistics, charging every control message to the
+//!    simulated NICs (§3.1 steps 1–2),
+//! 2. the configured **composer** maps the request onto the overlay
+//!    (§3.1 step 3),
+//! 3. components are **instantiated** on their nodes and the source
+//!    starts emitting data units at the required rate (§3.1 step 4),
+//! 4. each node runs its **scheduler** (§3.4): arriving units get a
+//!    deadline one period ahead, negative-laxity units are dropped, the
+//!    least-laxity unit occupies the CPU,
+//! 5. split stages distribute units across their components by smooth
+//!    weighted round-robin in proportion to the flow solution,
+//! 6. destinations track delivery, order, timeliness, and jitter (§4.2).
+//!
+//! Everything is deterministic in the engine seed.
+
+mod trace;
+mod wrr;
+
+pub use trace::{Trace, TraceEvent};
+pub use wrr::{ChunkedWrr, Wrr};
+
+use crate::catalog::ServiceDirectory;
+use crate::compose::{gain_prefix, ComposeError, Composer, ComposerKind, ProviderMap};
+use crate::metrics::{DropCause, RunReport, SubstreamTracker};
+use crate::model::{AppId, ExecutionGraph, ServiceCatalog, ServiceRequest};
+use crate::view::SystemView;
+use desim::{run, EventQueue, SimDuration, SimRng, SimTime, World};
+use mincostflow::Algorithm;
+use monitor::{Ewma, OutcomeWindow, RateEstimator, ThroughputMeter};
+use overlay::Overlay;
+use sched::{make_scheduler, Job, JobMeta, Policy, Scheduler};
+use simnet::{mbps, Network, NetworkConfig, NodeId, SendOutcome, Topology};
+use std::collections::HashMap;
+
+/// Tunables for an engine run (defaults follow the paper's setup).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which composition algorithm to run.
+    pub composer: ComposerKind,
+    /// Min-cost flow algorithm (used by the MinCost composer).
+    pub flow_algorithm: Algorithm,
+    /// Per-node data-unit scheduling policy (§3.4; the paper's is LLF).
+    pub policy: Policy,
+    /// Ready-queue capacity per node (input-queue-size drops beyond it).
+    pub queue_capacity: usize,
+    /// Monitoring window size `h` (§3.2).
+    pub monitor_window: usize,
+    /// Log-normal sigma on per-unit execution times (0 = deterministic).
+    pub exec_noise_sigma: f64,
+    /// Size of one control-plane message (discovery hop, stats query).
+    pub control_bits: u64,
+    /// Services hosted per node (§4.1: 5 of 10).
+    pub services_per_node: usize,
+    /// Fraction of each NIC's rate that composition may consider
+    /// admittable (see `SystemView::with_headroom`).
+    pub admission_headroom: f64,
+    /// Length of the bandwidth-measurement window in seconds (§3.2).
+    pub measure_window_secs: f64,
+    /// Run length of the split-dispatch striping (see `ChunkedWrr`).
+    pub split_chunk: u32,
+    /// Bursty cross traffic on designated nodes (the PlanetLab
+    /// "state of the nodes" the paper averaged over). `None` disables.
+    pub background: Option<BackgroundTraffic>,
+    /// CPU capacity per node, in cores, as a *composition constraint*
+    /// (the paper's stated future work, §6: "performance under multiple
+    /// resource constraints"). `None` = bandwidth-only composition (the
+    /// paper's evaluated configuration); CPU contention then manifests
+    /// purely at runtime through queueing and laxity drops.
+    pub cpu_cores: Option<f64>,
+    /// Network model tunables.
+    pub net: NetworkConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            composer: ComposerKind::MinCost,
+            flow_algorithm: Algorithm::DijkstraSsp,
+            policy: Policy::Llf,
+            queue_capacity: 64,
+            monitor_window: 50,
+            exec_noise_sigma: 0.25,
+            control_bits: 2_048,
+            services_per_node: 5,
+            admission_headroom: 0.75,
+            measure_window_secs: 4.0,
+            split_chunk: 16,
+            background: None,
+            cpu_cores: None,
+            net: NetworkConfig::default(),
+        }
+    }
+}
+
+/// Bursty cross traffic injected on a set of nodes.
+///
+/// PlanetLab hosts were shared with dozens of other slices; their usable
+/// bandwidth came and went in bursts. The paper leans on exactly this:
+/// its drop-ratio feedback exists because "the value of drops changes
+/// dynamically depending on the load of the peer" (§3.2), and its five
+/// runs "on different times and days" average over node states (§4.1).
+/// Each flaky node alternates exponentially-distributed ON/OFF phases;
+/// while ON, cross traffic occupies `load` of both NICs (injected as
+/// periodic pulses so foreground units interleave realistically) and is
+/// visible to the node's own §3.2 bandwidth monitoring.
+#[derive(Clone, Debug)]
+pub struct BackgroundTraffic {
+    /// The nodes carrying cross traffic.
+    pub nodes: Vec<NodeId>,
+    /// Mean ON-phase duration in seconds.
+    pub on_mean_secs: f64,
+    /// Mean OFF-phase duration in seconds.
+    pub off_mean_secs: f64,
+    /// Fraction of NIC capacity the cross traffic consumes while ON,
+    /// drawn per node uniformly from this range.
+    pub load: (f64, f64),
+    /// Interval between cross-traffic pulses while ON, milliseconds.
+    pub pulse_ms: u64,
+}
+
+impl BackgroundTraffic {
+    /// A typical flaky-host profile: ~25% duty cycle, 40–70% load bursts.
+    pub fn flaky(nodes: Vec<NodeId>) -> Self {
+        BackgroundTraffic {
+            nodes,
+            on_mean_secs: 2.0,
+            off_mean_secs: 6.0,
+            load: (0.5, 0.8),
+            pulse_ms: 50,
+        }
+    }
+}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    n: usize,
+    catalog: ServiceCatalog,
+    seed: u64,
+    config: EngineConfig,
+    topology: Option<Topology>,
+    offers: Option<Vec<Vec<usize>>>,
+}
+
+impl EngineBuilder {
+    /// Selects the composition algorithm.
+    pub fn composer(mut self, kind: ComposerKind) -> Self {
+        self.config.composer = kind;
+        self
+    }
+
+    /// Overrides the full configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Uses an explicit topology instead of the PlanetLab-like default.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Uses an explicit service assignment (`offers[node]` = service ids)
+    /// instead of the random one.
+    pub fn offers(mut self, offers: Vec<Vec<usize>>) -> Self {
+        self.offers = Some(offers);
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> Engine {
+        let EngineBuilder {
+            n,
+            catalog,
+            seed,
+            config,
+            topology,
+            offers,
+        } = self;
+        let topology =
+            topology.unwrap_or_else(|| Topology::planetlab_like(n, mbps(1.0), mbps(10.0), seed));
+        assert_eq!(topology.len(), n, "topology size mismatch");
+        let proximity = |a: usize, b: usize| topology.latency(a, b).as_millis_f64();
+        let overlay = Overlay::build(n, seed, &proximity);
+        let dir = match offers {
+            Some(o) => ServiceDirectory::explicit(&catalog, &overlay, o),
+            None => ServiceDirectory::random_assignment(
+                &catalog,
+                &overlay,
+                n,
+                config.services_per_node.min(catalog.len()),
+                seed,
+            ),
+        };
+        let mut rng = SimRng::new(seed ^ 0x454E47494E455F31);
+        let composer: Box<dyn Composer> = match config.composer {
+            ComposerKind::MinCost => {
+                let lat_ms: Vec<f64> = (0..n)
+                    .flat_map(|u| (0..n).map(move |v| (u, v)))
+                    .map(|(u, v)| topology.latency(u, v).as_millis_f64())
+                    .collect();
+                let matrix = std::sync::Arc::new(crate::compose::LatencyMatrix::new(n, lat_ms));
+                Box::new(
+                    crate::compose::MinCostComposer::with_algorithm(config.flow_algorithm)
+                        .with_latencies(matrix),
+                )
+            }
+            other => other.build(),
+        };
+        let net = Network::new(
+            topology,
+            NetworkConfig {
+                seed,
+                ..config.net.clone()
+            },
+        );
+        let meter_window = SimDuration::from_secs_f64(config.measure_window_secs);
+        let nodes = (0..n)
+            .map(|v| NodeState {
+                sched: make_scheduler(config.policy, config.queue_capacity),
+                running: None,
+                outcomes: OutcomeWindow::new(config.monitor_window),
+                in_meter: ThroughputMeter::new(meter_window),
+                out_meter: ThroughputMeter::new(meter_window),
+                committed_in: 0.0,
+                committed_out: 0.0,
+                alive: true,
+                bg_load: None,
+                cpu_meter: ThroughputMeter::new(meter_window),
+                committed_cpu: 0.0,
+                comps: HashMap::new(),
+                exec_rng: rng.fork(v as u64),
+            })
+            .collect();
+        let mut queue = EventQueue::new();
+        let mut state = EngineState {
+            now: SimTime::ZERO,
+            catalog,
+            overlay,
+            dir,
+            net,
+            composer,
+            rng,
+            nodes,
+            apps: Vec::new(),
+            report: RunReport::default(),
+            trace: None,
+            config,
+        };
+        if let Some(bg) = state.config.background.clone() {
+            for &v in &bg.nodes {
+                // Stagger the first ON phase across the OFF-mean horizon.
+                let delay =
+                    SimDuration::from_secs_f64(state.rng.exp(1.0 / bg.off_mean_secs.max(0.01)));
+                queue.schedule(SimTime::ZERO + delay, Event::BgPhase { node: v, on: true });
+            }
+        }
+        Engine { state, queue }
+    }
+}
+
+/// A data unit in flight between/inside nodes.
+#[derive(Clone, Debug)]
+struct Unit {
+    app: AppId,
+    substream: usize,
+    /// Index of the stage about to process the unit; `== stage count`
+    /// means the unit is addressed to the destination.
+    layer: usize,
+    seq: u64,
+    created: SimTime,
+    bits: u64,
+}
+
+/// Key identifying a component instance on a node.
+type CompKey = (AppId, usize, usize); // (app, substream, layer)
+
+/// One running component on a node (§2.1's "instantiation of a service").
+struct CompState {
+    nominal_rate: f64,
+    nominal_exec_secs: f64,
+    #[allow(dead_code)] // kept for introspection/debug dumps
+    service: usize,
+    /// Infers the period `p_ci` from observed arrivals (§3.4).
+    arrivals: RateEstimator,
+    /// Measured running time `t_ci` (§3.2 statistic (1)).
+    exec_est: Ewma,
+    /// Dispatch to the next stage's components; `None` = destination.
+    downstream: Option<ChunkedWrr>,
+}
+
+struct Running {
+    unit: Unit,
+    comp: CompKey,
+    exec: SimDuration,
+}
+
+/// Per-node runtime state.
+struct NodeState {
+    sched: Box<dyn Scheduler<Unit>>,
+    running: Option<Running>,
+    /// Drop-ratio feedback window (§3.2 statistic (3)).
+    outcomes: OutcomeWindow,
+    /// Measured inbound traffic (bits/s), per §3.2's monitoring.
+    in_meter: ThroughputMeter,
+    /// Measured outbound traffic (bits/s).
+    out_meter: ThroughputMeter,
+    /// Nominal rates of everything composed onto this node so far
+    /// (bits/s in, bits/s out). Composition uses
+    /// `max(measured, committed)` per direction: the measurement window
+    /// lags a freshly started stream by several seconds, and admitting
+    /// against the lagging reading alone over-commits every node during
+    /// request bursts.
+    committed_in: f64,
+    committed_out: f64,
+    /// False once the node has failed (crash-stop).
+    alive: bool,
+    /// Cross-traffic state: `Some(load)` while an ON phase is active.
+    bg_load: Option<f64>,
+    /// Measured CPU busy time (the meter's "bits" are busy nanoseconds;
+    /// its rate is therefore cores in use).
+    cpu_meter: ThroughputMeter,
+    /// Committed CPU of everything composed onto this node (cores).
+    committed_cpu: f64,
+    comps: HashMap<CompKey, CompState>,
+    exec_rng: SimRng,
+}
+
+/// A composed, running application.
+struct AppState {
+    req: ServiceRequest,
+    graph: ExecutionGraph,
+    /// False once the app has been stopped (sources quiesce, components
+    /// removed, commitments released).
+    active: bool,
+    trackers: Vec<SubstreamTracker>,
+    next_seq: Vec<u64>,
+    source_wrr: Vec<ChunkedWrr>,
+    stage_count: Vec<usize>,
+    source_period: Vec<SimDuration>,
+    gains: Vec<Vec<f64>>,
+}
+
+/// Simulation events.
+enum Event {
+    /// A request submitted at a point in simulated time.
+    Submit(ServiceRequest),
+    /// Composition finished; sources may start emitting.
+    AppStart(AppId),
+    /// A finite-lifetime application reached its end: tear it down.
+    AppStop(AppId),
+    /// Periodic source emission for one substream.
+    SourceEmit { app: AppId, substream: usize },
+    /// A data unit fully received at a node.
+    UnitArrive { node: NodeId, unit: Unit },
+    /// A node's CPU finished the unit it was processing.
+    CpuDone { node: NodeId },
+    /// A flaky node's cross traffic toggles ON/OFF.
+    BgPhase { node: NodeId, on: bool },
+    /// One cross-traffic pulse on an ON-phase node.
+    BgPulse { node: NodeId },
+}
+
+struct EngineState {
+    now: SimTime,
+    catalog: ServiceCatalog,
+    overlay: Overlay,
+    dir: ServiceDirectory,
+    net: Network,
+    composer: Box<dyn Composer>,
+    rng: SimRng,
+    nodes: Vec<NodeState>,
+    apps: Vec<AppState>,
+    report: RunReport,
+    trace: Option<Trace>,
+    config: EngineConfig,
+}
+
+/// The RASC runtime over a simulated wide-area network.
+pub struct Engine {
+    state: EngineState,
+    queue: EventQueue<Event>,
+}
+
+impl Engine {
+    /// Starts building an engine over `n` nodes with the given catalog
+    /// and master seed.
+    pub fn builder(n: usize, catalog: ServiceCatalog, seed: u64) -> EngineBuilder {
+        assert!(n >= 2, "need at least a source and a destination");
+        EngineBuilder {
+            n,
+            catalog,
+            seed,
+            config: EngineConfig::default(),
+            topology: None,
+            offers: None,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.state.now
+    }
+
+    /// Submits a request *now*; composes synchronously and returns the
+    /// app id (sources start after the discovery latency).
+    pub fn submit(&mut self, req: ServiceRequest) -> Result<AppId, ComposeError> {
+        let now = self.state.now;
+        self.state.handle_submit(now, req, &mut self.queue)
+    }
+
+    /// Schedules a request submission at an absolute simulated time.
+    pub fn submit_at(&mut self, at: SimTime, req: ServiceRequest) {
+        self.queue.schedule(at, Event::Submit(req));
+    }
+
+    /// Runs the simulation until `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        run(&mut self.state, &mut self.queue, horizon);
+        self.state.now = self.state.now.max(horizon);
+    }
+
+    /// Runs the simulation for `secs` of simulated time.
+    pub fn run_for_secs(&mut self, secs: f64) {
+        let horizon = self.state.now + SimDuration::from_secs_f64(secs);
+        self.run_until(horizon);
+    }
+
+    /// Aggregated metrics so far (destination trackers folded in).
+    pub fn report(&self) -> RunReport {
+        let mut r = self.state.report.clone();
+        for app in &self.state.apps {
+            for tr in &app.trackers {
+                r.absorb_tracker(tr);
+            }
+        }
+        r
+    }
+
+    /// The execution graph of a composed app.
+    pub fn app_graph(&self, app: AppId) -> &ExecutionGraph {
+        &self.state.apps[app].graph
+    }
+
+    /// Number of composed apps.
+    pub fn app_count(&self) -> usize {
+        self.state.apps.len()
+    }
+
+    /// A snapshot of the composition-time system view (availability from
+    /// the measurement windows) at the current instant.
+    pub fn view_snapshot(&mut self) -> SystemView {
+        let now = self.state.now;
+        self.state.measured_view(now)
+    }
+
+    /// The underlying network (counters, topology).
+    pub fn network(&self) -> &Network {
+        &self.state.net
+    }
+
+    /// The service directory (placement ground truth).
+    pub fn directory(&self) -> &ServiceDirectory {
+        &self.state.dir
+    }
+
+    /// Current drop-ratio window reading of a node.
+    pub fn node_drop_ratio(&self, v: NodeId) -> f64 {
+        self.state.nodes[v].outcomes.ratio()
+    }
+
+    /// Enables control-plane tracing, retaining the most recent
+    /// `capacity` events (compositions, starts, stops, failures).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.state.trace = Some(Trace::new(capacity));
+    }
+
+    /// The trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.state.trace.as_ref()
+    }
+
+    /// Fails node `v` (crash-stop): the overlay routes around it, the
+    /// service registry drops its registrations, its queued and running
+    /// units are lost, and every application with a component on it is
+    /// dynamically re-composed on the surviving nodes (applications whose
+    /// *endpoints* died cannot be recomposed and simply stop).
+    pub fn fail_node(&mut self, v: NodeId) {
+        let now = self.state.now;
+        self.state.handle_fail_node(now, v, &mut self.queue);
+    }
+
+    /// Whether node `v` is still alive.
+    pub fn node_alive(&self, v: NodeId) -> bool {
+        self.state.nodes[v].alive
+    }
+
+    /// Per-substream delivery counters of one app:
+    /// `(delivered, out_of_order, timely)` per substream.
+    pub fn app_delivery_stats(&self, app: AppId) -> Vec<(u64, u64, u64)> {
+        self.state.apps[app]
+            .trackers
+            .iter()
+            .map(|t| (t.delivered(), t.out_of_order(), t.timely()))
+            .collect()
+    }
+}
+
+impl World for EngineState {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, q: &mut EventQueue<Event>) {
+        self.now = now;
+        match event {
+            Event::Submit(req) => {
+                let _ = self.handle_submit(now, req, q);
+            }
+            Event::AppStart(app) => self.handle_app_start(now, app, q),
+            Event::AppStop(app) => self.handle_app_stop(app),
+            Event::SourceEmit { app, substream } => {
+                self.handle_source_emit(now, app, substream, q)
+            }
+            Event::UnitArrive { node, unit } => self.handle_unit_arrive(now, node, unit, q),
+            Event::CpuDone { node } => self.handle_cpu_done(now, node, q),
+            Event::BgPhase { node, on } => self.handle_bg_phase(now, node, on, q),
+            Event::BgPulse { node } => self.handle_bg_pulse(now, node, q),
+        }
+    }
+}
+
+impl EngineState {
+    /// §3.1 steps 1–3: discover, gather statistics, compose.
+    fn handle_submit(
+        &mut self,
+        now: SimTime,
+        req: ServiceRequest,
+        q: &mut EventQueue<Event>,
+    ) -> Result<AppId, ComposeError> {
+        if let Err(_e) = req.validate(&self.catalog) {
+            self.report.rejected += 1;
+            return Err(ComposeError::UnknownService(usize::MAX));
+        }
+        // Step 1: DHT discovery of each distinct service, charged hop by
+        // hop to the overlay links.
+        let mut services: Vec<usize> = req
+            .graph
+            .substreams
+            .iter()
+            .flat_map(|s| s.services.iter().copied())
+            .collect();
+        services.sort_unstable();
+        services.dedup();
+        let mut providers = ProviderMap::new();
+        let mut ready_at = now;
+        for &s in &services {
+            let (found, path) = self.dir.discover(&self.overlay, req.source, s);
+            for hop in path.windows(2) {
+                ready_at = ready_at.max(self.charge_control(now, hop[0], hop[1]));
+            }
+            // The answer travels back directly.
+            if let Some(&last) = path.last() {
+                if last != req.source {
+                    ready_at = ready_at.max(self.charge_control(now, last, req.source));
+                }
+            }
+            providers.insert(s, found);
+        }
+        // Step 2: pull utilization + drop statistics from each candidate.
+        let mut candidates: Vec<NodeId> = providers.values().flatten().copied().collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for &c in &candidates {
+            if c != req.source {
+                ready_at = ready_at.max(self.charge_control(now, req.source, c));
+                ready_at = ready_at.max(self.charge_control(now, c, req.source));
+            }
+        }
+        // Step 3: compose against the measured availability + drop
+        // feedback snapshot (§3.2).
+        let mut view = self.measured_view(now);
+        match self
+            .composer
+            .compose(&req, &self.catalog, &providers, &mut view, &mut self.rng)
+        {
+            Ok(graph) => {
+                self.report.composed += 1;
+                self.report.components += graph.component_count() as u64;
+                if graph.has_splitting() {
+                    self.report.split_requests += 1;
+                }
+                let components = graph.component_count();
+                let split = graph.has_splitting();
+                let app = self.install_app(req, graph);
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        now,
+                        TraceEvent::Composed {
+                            app,
+                            components,
+                            split,
+                        },
+                    );
+                }
+                q.schedule(ready_at, Event::AppStart(app));
+                Ok(app)
+            }
+            Err(e) => {
+                self.report.rejected += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.record(
+                        now,
+                        TraceEvent::Rejected {
+                            reason: e.to_string(),
+                        },
+                    );
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Sends one control-plane message and returns when it lands (drops
+    /// fall back to a retransmission penalty).
+    fn charge_control(&mut self, now: SimTime, from: NodeId, to: NodeId) -> SimTime {
+        match self.net.send(now, from, to, self.config.control_bits) {
+            SendOutcome::Delivered(t) => {
+                self.record_traffic(now, from, to, self.config.control_bits, true);
+                t
+            }
+            SendOutcome::Dropped(reason) => {
+                if reason == simnet::DropReason::ReceiverOverflow {
+                    self.record_traffic(now, from, to, self.config.control_bits, false);
+                }
+                now + SimDuration::from_millis(200)
+            }
+        }
+    }
+
+    /// Feeds the throughput meters. Both directions count the *offered*
+    /// load: a receiver that is dropping from overflow is saturated, and
+    /// advertising the dropped bits as "available" would invite further
+    /// placements onto it (a positive feedback loop). Measuring offered
+    /// rather than carried traffic is what a node observing its own
+    /// inbound packet stream sees anyway (§3.2).
+    fn record_traffic(&mut self, now: SimTime, from: NodeId, to: NodeId, bits: u64, _accepted: bool) {
+        self.nodes[from].out_meter.record(now, bits);
+        self.nodes[to].in_meter.record(now, bits);
+    }
+
+    /// The paper's composition-time snapshot: per-node availability =
+    /// admittable capacity − measured traffic, plus the drop-ratio
+    /// windows (§3.2).
+    fn measured_view(&mut self, now: SimTime) -> SystemView {
+        let mut view =
+            SystemView::with_headroom(self.net.topology(), self.config.admission_headroom);
+        let n = self.nodes.len();
+        let usage: Vec<(f64, f64)> = (0..n)
+            .map(|v| {
+                (
+                    self.nodes[v].in_meter.rate(now).max(self.nodes[v].committed_in),
+                    self.nodes[v]
+                        .out_meter
+                        .rate(now)
+                        .max(self.nodes[v].committed_out),
+                )
+            })
+            .collect();
+        for (v, &(in_bps, out_bps)) in usage.iter().enumerate() {
+            if self.nodes[v].alive {
+                view.consume_measured(v, in_bps, out_bps);
+                view.set_drop_ratio(v, self.nodes[v].outcomes.ratio());
+            } else {
+                view.consume_measured(v, f64::MAX, f64::MAX);
+                view.set_drop_ratio(v, 1.0);
+            }
+        }
+        if let Some(cores) = self.config.cpu_cores {
+            for v in 0..n {
+                view.set_cpu_capacity(v, cores * self.config.admission_headroom);
+                let measured = self.nodes[v].cpu_meter.rate(now) / 1e9;
+                let used = measured.max(self.nodes[v].committed_cpu);
+                view.consume_measured_cpu(v, used);
+            }
+        }
+        view
+    }
+
+    /// Striping run length for a split stage. Long runs minimize
+    /// reordering, but a branch receives the *full* stream rate for the
+    /// duration of its run; if its per-unit service time (CPU or NIC
+    /// serialization) exceeds the stream period, backlog builds at
+    /// `deficit = per_unit − stream_period` per unit and must stay
+    /// within the branch's deadline slack. The chunk is capped so a
+    /// full run never builds more backlog than the slowest branch can
+    /// absorb.
+    fn stage_chunk(&self, targets: &[(NodeId, f64)], service: usize, unit_bits: u64) -> u32 {
+        let max_chunk = self.config.split_chunk.max(1);
+        if targets.len() < 2 {
+            return max_chunk;
+        }
+        let total_rate: f64 = targets.iter().map(|&(_, r)| r).sum();
+        if total_rate <= 0.0 {
+            return max_chunk;
+        }
+        let stream_period = 1.0 / total_rate;
+        let exec = self.catalog.get(service).exec_time.as_secs_f64();
+        let mut chunk = max_chunk;
+        for &(node, rate) in targets {
+            if rate <= 0.0 {
+                continue;
+            }
+            let spec = self.net.topology().spec(node);
+            let tx = unit_bits as f64 / spec.bw_in.max(1.0);
+            let per_unit = exec.max(tx);
+            let deficit = per_unit - stream_period;
+            if deficit > 0.0 {
+                let slack = (1.0 / rate - per_unit).max(0.0);
+                let bound = (slack / deficit).floor().max(1.0) as u32;
+                chunk = chunk.min(bound);
+            }
+        }
+        chunk.max(1)
+    }
+
+    /// §3.1 step 4: instantiate components and wire the dispatch graph.
+    fn install_app(&mut self, req: ServiceRequest, graph: ExecutionGraph) -> AppId {
+        let app = self.apps.len();
+        let mut trackers = Vec::new();
+        let mut source_wrr = Vec::new();
+        let mut stage_count = Vec::new();
+        let mut source_period = Vec::new();
+        let mut gains = Vec::new();
+        for (l, stages) in graph.substreams.iter().enumerate() {
+            let services = &req.graph.substreams[l].services;
+            let g = gain_prefix(&self.catalog, services);
+            let src_rate = req.rates[l] / g[services.len()];
+            let unit_bits = req.unit_bits as f64;
+            self.nodes[req.source].committed_out += src_rate * unit_bits;
+            self.nodes[req.destination].committed_in += req.rates[l] * unit_bits;
+            // A component's NIC demand excludes the share of traffic that
+            // stays on the same node between consecutive stages (same-node
+            // transfers are in-memory; see `send_unit`). Under WRR
+            // dispatch, the fraction of stage-i traffic on node X that
+            // came from X's own stage-(i-1) component is X's rate share
+            // in stage i-1, and symmetrically for the outgoing side.
+            let share_of = |stage: &crate::model::Stage, node: NodeId| -> f64 {
+                let total = stage.total_rate();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                stage
+                    .placements
+                    .iter()
+                    .find(|p| p.node == node)
+                    .map_or(0.0, |p| p.rate / total)
+            };
+            for (i, stage) in stages.iter().enumerate() {
+                let ratio = self.catalog.get(stage.service).rate_ratio;
+                for p in &stage.placements {
+                    let from_self = match i {
+                        0 => 0.0, // stage 0 receives from the source node
+                        _ => share_of(&stages[i - 1], p.node),
+                    };
+                    let to_self = match stages.get(i + 1) {
+                        Some(next) => share_of(next, p.node),
+                        None => 0.0, // last stage sends to the destination
+                    };
+                    self.nodes[p.node].committed_in += p.rate * unit_bits * (1.0 - from_self);
+                    self.nodes[p.node].committed_out +=
+                        p.rate * ratio * unit_bits * (1.0 - to_self);
+                    self.nodes[p.node].committed_cpu +=
+                        p.rate * self.catalog.get(stage.service).exec_time.as_secs_f64();
+                }
+            }
+            // Data units stay 1:1 through components (rate ratios scale
+            // unit *size*); the destination therefore paces its schedule
+            // by the source's unit rate.
+            trackers.push(SubstreamTracker::new(src_rate));
+            stage_count.push(stages.len());
+            source_period.push(SimDuration::from_secs_f64(1.0 / src_rate));
+            let first_targets: Vec<(NodeId, f64)> = stages[0]
+                .placements
+                .iter()
+                .map(|p| (p.node, p.rate))
+                .collect();
+            let first_chunk =
+                self.stage_chunk(&first_targets, stages[0].service, req.unit_bits);
+            source_wrr.push(ChunkedWrr::new(Wrr::new(first_targets), first_chunk));
+            // Instantiate each placement's component with its downstream.
+            for (i, stage) in stages.iter().enumerate() {
+                let next: Option<Vec<(NodeId, f64)>> = stages.get(i + 1).map(|nxt| {
+                    nxt.placements.iter().map(|p| (p.node, p.rate)).collect()
+                });
+                for p in &stage.placements {
+                    let svc = self.catalog.get(stage.service);
+                    let comp = CompState {
+                        nominal_rate: p.rate,
+                        nominal_exec_secs: svc.exec_time.as_secs_f64(),
+                        service: stage.service,
+                        arrivals: RateEstimator::new(self.config.monitor_window.max(2)),
+                        exec_est: Ewma::new(0.2),
+                        downstream: next.clone().map(|t| {
+                            let chunk = self.stage_chunk(
+                                &t,
+                                stages[i + 1].service,
+                                req.unit_bits,
+                            );
+                            ChunkedWrr::new(Wrr::new(t), chunk)
+                        }),
+                    };
+                    self.nodes[p.node].comps.insert((app, l, i), comp);
+                }
+            }
+            gains.push(g);
+        }
+        self.apps.push(AppState {
+            req,
+            graph,
+            active: true,
+            trackers,
+            next_seq: vec![0; stage_count.len()],
+            source_wrr,
+            stage_count,
+            source_period,
+            gains,
+        });
+        app
+    }
+
+    fn handle_app_start(&mut self, now: SimTime, app: AppId, q: &mut EventQueue<Event>) {
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, TraceEvent::AppStarted { app });
+        }
+        if let Some(lifetime) = self.apps[app].req.lifetime {
+            q.schedule(now + lifetime, Event::AppStop(app));
+        }
+        let substreams = self.apps[app].stage_count.len();
+        for l in 0..substreams {
+            // Random phase within the first period avoids artificial
+            // alignment of all sources on the same tick.
+            let period = self.apps[app].source_period[l];
+            let phase = period.mul_f64(self.rng.f64());
+            q.schedule(now + phase, Event::SourceEmit { app, substream: l });
+        }
+    }
+
+    fn handle_source_emit(
+        &mut self,
+        now: SimTime,
+        app: AppId,
+        substream: usize,
+        q: &mut EventQueue<Event>,
+    ) {
+        if !self.apps[app].active {
+            return;
+        }
+        let (source, unit_bits, period, target, seq) = {
+            let a = &mut self.apps[app];
+            let seq = a.next_seq[substream];
+            a.next_seq[substream] += 1;
+            (
+                a.req.source,
+                a.req.unit_bits,
+                a.source_period[substream],
+                a.source_wrr[substream].pick(),
+                seq,
+            )
+        };
+        self.report.generated += 1;
+        let unit = Unit {
+            app,
+            substream,
+            layer: 0,
+            seq,
+            created: now,
+            bits: unit_bits,
+        };
+        self.send_unit(now, source, target, unit, q);
+        q.schedule(now + period, Event::SourceEmit { app, substream });
+    }
+
+    /// Transfers a unit over the network, charging drops to the
+    /// overflowing NIC's node. Transfers between two components on the
+    /// same node never touch the network: the paper models same-node
+    /// edges as infinite-capacity (§3.5), and a real node hands the data
+    /// unit between components in memory.
+    fn send_unit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        unit: Unit,
+        q: &mut EventQueue<Event>,
+    ) {
+        if !self.nodes[to].alive {
+            self.report.count_drop(DropCause::NodeFailed);
+            return;
+        }
+        if from == to {
+            let ipc = SimDuration::from_micros(200);
+            q.schedule(now + ipc, Event::UnitArrive { node: to, unit });
+            return;
+        }
+        let bits = unit.bits;
+        match self.net.send(now, from, to, bits) {
+            SendOutcome::Delivered(t) => {
+                self.record_traffic(now, from, to, bits, true);
+                q.schedule(t, Event::UnitArrive { node: to, unit });
+            }
+            SendOutcome::Dropped(simnet::DropReason::SenderOverflow) => {
+                self.report.count_drop(DropCause::NetSender);
+                self.nodes[from].outcomes.record(true);
+            }
+            SendOutcome::Dropped(simnet::DropReason::ReceiverOverflow) => {
+                self.record_traffic(now, from, to, bits, false);
+                self.report.count_drop(DropCause::NetReceiver);
+                self.nodes[to].outcomes.record(true);
+            }
+        }
+    }
+
+    fn handle_unit_arrive(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        unit: Unit,
+        q: &mut EventQueue<Event>,
+    ) {
+        if !self.nodes[node].alive {
+            self.report.count_drop(DropCause::NodeFailed);
+            return;
+        }
+        let stages = self.apps[unit.app].stage_count[unit.substream];
+        if unit.layer >= stages {
+            // Destination delivery (§4.2 metrics).
+            debug_assert_eq!(node, self.apps[unit.app].req.destination);
+            self.apps[unit.app].trackers[unit.substream].on_delivery(
+                unit.seq,
+                unit.created,
+                now,
+            );
+            self.nodes[node].outcomes.record(false);
+            return;
+        }
+        let key: CompKey = (unit.app, unit.substream, unit.layer);
+        if !self.nodes[node].comps.contains_key(&key) {
+            // The application was torn down while this unit was in
+            // flight; it dies quietly at the now-vacant node.
+            self.report.count_drop(DropCause::Terminated);
+            return;
+        }
+        let (deadline, exec_est) = {
+            let comp = self.nodes[node]
+                .comps
+                .get_mut(&key)
+                .expect("component checked above");
+            comp.arrivals.record(now);
+            // Deadline: expected arrival of the next unit (§3.4), from
+            // the measured period once enough samples exist.
+            let period = if comp.arrivals.len() >= 4 {
+                comp.arrivals
+                    .period()
+                    .unwrap_or_else(|| SimDuration::from_secs_f64(1.0 / comp.nominal_rate))
+            } else {
+                SimDuration::from_secs_f64(1.0 / comp.nominal_rate)
+            };
+            let est = comp.exec_est.value_or(comp.nominal_exec_secs);
+            (now + period, SimDuration::from_secs_f64(est))
+        };
+        let job = Job {
+            meta: JobMeta {
+                arrival: now,
+                deadline,
+                exec_time: exec_est,
+            },
+            payload: unit,
+        };
+        if self.nodes[node].sched.enqueue(job).is_err() {
+            self.report.count_drop(DropCause::QueueFull);
+            self.nodes[node].outcomes.record(true);
+            return;
+        }
+        if self.nodes[node].running.is_none() {
+            self.start_cpu(now, node, q);
+        }
+    }
+
+    /// Dispatches the next unit onto the node's CPU (§3.4).
+    fn start_cpu(&mut self, now: SimTime, node: NodeId, q: &mut EventQueue<Event>) {
+        let outcome = self.nodes[node].sched.dispatch(now);
+        for _dropped in &outcome.dropped {
+            self.report.count_drop(DropCause::Laxity);
+            self.nodes[node].outcomes.record(true);
+        }
+        if let Some(job) = outcome.chosen {
+            let key: CompKey = (job.payload.app, job.payload.substream, job.payload.layer);
+            let base = self.nodes[node]
+                .comps
+                .get(&key)
+                .map(|c| c.nominal_exec_secs)
+                .unwrap_or(0.002);
+            let noise = if self.config.exec_noise_sigma > 0.0 {
+                self.nodes[node]
+                    .exec_rng
+                    .log_normal(0.0, self.config.exec_noise_sigma)
+                    .clamp(0.2, 5.0)
+            } else {
+                1.0
+            };
+            let exec = SimDuration::from_secs_f64(base * noise);
+            self.nodes[node].running = Some(Running {
+                unit: job.payload,
+                comp: key,
+                exec,
+            });
+            q.schedule(now + exec, Event::CpuDone { node });
+        }
+    }
+
+    /// Crash-stops node `v` and dynamically re-composes the affected
+    /// applications (§1's "composes stream processing applications
+    /// dynamically" under churn; the overlay's §3.3 failure handling
+    /// keeps discovery working).
+    fn handle_fail_node(&mut self, now: SimTime, v: NodeId, q: &mut EventQueue<Event>) {
+        if !self.nodes[v].alive {
+            return;
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, TraceEvent::NodeFailed { node: v });
+        }
+        // Overlay + registry route around the corpse.
+        self.overlay.remove(v);
+        self.dir.handle_failure(&self.overlay, v);
+        // Everything on the node dies with it.
+        let node = &mut self.nodes[v];
+        node.alive = false;
+        node.bg_load = None;
+        node.running = None;
+        let queued = node.sched.len() as u64;
+        node.sched = make_scheduler(self.config.policy, self.config.queue_capacity);
+        node.comps.clear();
+        for _ in 0..queued {
+            self.report.count_drop(DropCause::NodeFailed);
+        }
+        // Every active application that had a component on `v` — or whose
+        // endpoints lived there — is affected.
+        let affected: Vec<AppId> = (0..self.apps.len())
+            .filter(|&a| {
+                let app = &self.apps[a];
+                app.active
+                    && (app.req.source == v
+                        || app.req.destination == v
+                        || app
+                            .graph
+                            .substreams
+                            .iter()
+                            .flatten()
+                            .any(|st| st.placements.iter().any(|p| p.node == v)))
+            })
+            .collect();
+        for app in affected {
+            let req = self.apps[app].req.clone();
+            self.handle_app_stop(app);
+            if req.source != v && req.destination != v {
+                self.report.recompositions += 1;
+                if let Ok(new_app) = self.handle_submit(now, req, q) {
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(now, TraceEvent::Recomposed { new_app });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tears an application down: sources quiesce, its components leave
+    /// their nodes, and its committed rates are released so later
+    /// compositions can reuse the capacity.
+    fn handle_app_stop(&mut self, app: AppId) {
+        if !self.apps[app].active {
+            return;
+        }
+        self.apps[app].active = false;
+        let stop_time = self.now;
+        if let Some(tr) = &mut self.trace {
+            tr.record(stop_time, TraceEvent::AppStopped { app });
+        }
+        let req = self.apps[app].req.clone();
+        let graph = self.apps[app].graph.clone();
+        let unit_bits = req.unit_bits as f64;
+        for (l, stages) in graph.substreams.iter().enumerate() {
+            let services = &req.graph.substreams[l].services;
+            let g = gain_prefix(&self.catalog, services);
+            let src_rate = req.rates[l] / g[services.len()];
+            self.nodes[req.source].committed_out -= src_rate * unit_bits;
+            self.nodes[req.destination].committed_in -= req.rates[l] * unit_bits;
+            let share_of = |stage: &crate::model::Stage, node: NodeId| -> f64 {
+                let total = stage.total_rate();
+                if total <= 0.0 {
+                    return 0.0;
+                }
+                stage
+                    .placements
+                    .iter()
+                    .find(|p| p.node == node)
+                    .map_or(0.0, |p| p.rate / total)
+            };
+            for (i, stage) in stages.iter().enumerate() {
+                let ratio = self.catalog.get(stage.service).rate_ratio;
+                for p in &stage.placements {
+                    let from_self = match i {
+                        0 => 0.0,
+                        _ => share_of(&stages[i - 1], p.node),
+                    };
+                    let to_self = match stages.get(i + 1) {
+                        Some(next) => share_of(next, p.node),
+                        None => 0.0,
+                    };
+                    self.nodes[p.node].committed_in -= p.rate * unit_bits * (1.0 - from_self);
+                    self.nodes[p.node].committed_out -=
+                        p.rate * ratio * unit_bits * (1.0 - to_self);
+                    self.nodes[p.node].committed_cpu -=
+                        p.rate * self.catalog.get(stage.service).exec_time.as_secs_f64();
+                    self.nodes[p.node].committed_in = self.nodes[p.node].committed_in.max(0.0);
+                    self.nodes[p.node].committed_out = self.nodes[p.node].committed_out.max(0.0);
+                    self.nodes[p.node].committed_cpu = self.nodes[p.node].committed_cpu.max(0.0);
+                    self.nodes[p.node].comps.remove(&(app, l, i));
+                }
+            }
+        }
+    }
+
+    fn handle_bg_phase(&mut self, now: SimTime, node: NodeId, on: bool, q: &mut EventQueue<Event>) {
+        let Some(bg) = self.config.background.clone() else {
+            return;
+        };
+        if on {
+            let load = self.rng.range_f64(bg.load.0, bg.load.1);
+            self.nodes[node].bg_load = Some(load);
+            q.schedule(now, Event::BgPulse { node });
+            let dur = SimDuration::from_secs_f64(self.rng.exp(1.0 / bg.on_mean_secs.max(0.01)));
+            q.schedule(now + dur, Event::BgPhase { node, on: false });
+        } else {
+            self.nodes[node].bg_load = None;
+            let dur = SimDuration::from_secs_f64(self.rng.exp(1.0 / bg.off_mean_secs.max(0.01)));
+            q.schedule(now + dur, Event::BgPhase { node, on: true });
+        }
+    }
+
+    fn handle_bg_pulse(&mut self, now: SimTime, node: NodeId, q: &mut EventQueue<Event>) {
+        let Some(bg) = self.config.background.clone() else {
+            return;
+        };
+        if !self.nodes[node].alive {
+            return;
+        }
+        let Some(load) = self.nodes[node].bg_load else {
+            return; // phase ended; stop pulsing
+        };
+        let pulse = SimDuration::from_millis(bg.pulse_ms.max(1));
+        let occupy = pulse.mul_f64(load);
+        self.net.occupy(now, node, occupy, occupy);
+        // The node's own monitoring sees the cross traffic (§3.2).
+        let spec = self.net.topology().spec(node);
+        let in_bits = (spec.bw_in * occupy.as_secs_f64()) as u64;
+        let out_bits = (spec.bw_out * occupy.as_secs_f64()) as u64;
+        self.nodes[node].in_meter.record(now, in_bits);
+        self.nodes[node].out_meter.record(now, out_bits);
+        q.schedule(now + pulse, Event::BgPulse { node });
+    }
+
+    fn handle_cpu_done(&mut self, now: SimTime, node: NodeId, q: &mut EventQueue<Event>) {
+        let Some(Running { unit, comp, exec }) = self.nodes[node].running.take() else {
+            // The node failed while this unit occupied its CPU.
+            return;
+        };
+        self.nodes[node].outcomes.record(false);
+        self.nodes[node].cpu_meter.record(now, exec.as_nanos());
+        // Update the running-time estimate and pick the next hop.
+        let next_layer = unit.layer + 1;
+        let (stages, destination) = {
+            let a = &self.apps[unit.app];
+            (a.stage_count[unit.substream], a.req.destination)
+        };
+        let out_gain = self.apps[unit.app].gains[unit.substream][next_layer];
+        let out_bits = (self.apps[unit.app].req.unit_bits as f64 * out_gain).round() as u64;
+        let target = match self.nodes[node].comps.get_mut(&comp) {
+            None => {
+                // Torn down while the unit occupied the CPU.
+                self.report.count_drop(DropCause::Terminated);
+                self.start_cpu(now, node, q);
+                return;
+            }
+            Some(c) => {
+                c.exec_est.record(exec.as_secs_f64());
+                if next_layer >= stages {
+                    destination
+                } else {
+                    c.downstream
+                        .as_mut()
+                        .expect("non-final component lacks downstream")
+                        .pick()
+                }
+            }
+        };
+        let out_unit = Unit {
+            layer: next_layer,
+            bits: out_bits.max(1),
+            ..unit
+        };
+        self.send_unit(now, node, target, out_unit, q);
+        self.start_cpu(now, node, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServiceRequest;
+    use simnet::{kbps, TopologyBuilder};
+
+    fn tiny_engine(config: EngineConfig) -> Engine {
+        let catalog = ServiceCatalog::synthetic(2, 1);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        for _ in 0..4 {
+            b.node(kbps(2_000.0), kbps(2_000.0));
+        }
+        Engine::builder(4, catalog, 1)
+            .topology(b.build())
+            .offers(vec![vec![0, 1], vec![0, 1], vec![], vec![]])
+            .config(config)
+            .build()
+    }
+
+    #[test]
+    fn measured_view_reflects_commitments() {
+        let mut engine = tiny_engine(EngineConfig::default());
+        let before = engine.view_snapshot();
+        engine
+            .submit(ServiceRequest::chain(&[0], 20.0, 2, 3))
+            .unwrap();
+        let after = engine.view_snapshot();
+        // The provider hosting the component lost ~20 du/s of headroom.
+        let delta: f64 = (0..2)
+            .map(|v| before.in_rate_capacity(v, 8192) - after.in_rate_capacity(v, 8192))
+            .sum();
+        assert!((delta - 20.0).abs() < 1.0, "committed delta {delta}");
+        // The source's uplink and destination's downlink shrank too.
+        assert!(after.out_rate_capacity(2, 8192) < before.out_rate_capacity(2, 8192));
+        assert!(after.in_rate_capacity(3, 8192) < before.in_rate_capacity(3, 8192));
+    }
+
+    #[test]
+    fn stage_chunk_adapts_to_branch_speed() {
+        let engine = tiny_engine(EngineConfig::default());
+        let state = &engine.state;
+        // Single target: always the configured maximum.
+        assert_eq!(
+            state.stage_chunk(&[(0, 10.0)], 0, 8192),
+            state.config.split_chunk
+        );
+        // Fast branches (2 Mbps NICs, ms-scale exec): no deficit, full chunk.
+        assert_eq!(
+            state.stage_chunk(&[(0, 10.0), (1, 10.0)], 0, 8192),
+            state.config.split_chunk
+        );
+    }
+
+    #[test]
+    fn stage_chunk_shrinks_for_slow_service() {
+        let catalog = ServiceCatalog::new(vec![crate::model::Service {
+            id: 0,
+            name: "heavy".into(),
+            exec_time: SimDuration::from_millis(40),
+            rate_ratio: 1.0,
+        }]);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        for _ in 0..4 {
+            b.node(kbps(10_000.0), kbps(10_000.0));
+        }
+        let engine = Engine::builder(4, catalog, 1)
+            .topology(b.build())
+            .offers(vec![vec![0], vec![0], vec![], vec![]])
+            .build();
+        // Two branches at 15 du/s each: stream period 33 ms < exec 40 ms,
+        // so the chunk must shrink well below the default of 16.
+        let chunk = engine
+            .state
+            .stage_chunk(&[(0, 15.0), (1, 15.0)], 0, 8192);
+        assert!(chunk < 8, "chunk {chunk} too large for a 40 ms service");
+        assert!(chunk >= 1);
+    }
+
+    #[test]
+    fn invalid_request_counts_as_rejected() {
+        let mut engine = tiny_engine(EngineConfig::default());
+        assert!(engine
+            .submit(ServiceRequest::chain(&[99], 5.0, 2, 3))
+            .is_err());
+        assert_eq!(engine.report().rejected, 1);
+        assert_eq!(engine.report().composed, 0);
+    }
+
+    #[test]
+    fn background_phases_toggle_load() {
+        let config = EngineConfig {
+            background: Some(BackgroundTraffic::flaky(vec![0, 1])),
+            ..Default::default()
+        };
+        let mut engine = tiny_engine(config);
+        // Run long enough for several ON/OFF cycles; the flaky nodes'
+        // NICs must show occupancy (bits metered by the pulses).
+        engine.run_for_secs(30.0);
+        let mut v = engine.view_snapshot();
+        let _ = &mut v;
+        let busy0 = engine.state.nodes[0].in_meter.total_bits();
+        let busy2 = engine.state.nodes[2].in_meter.total_bits();
+        assert!(busy0 > 0, "flaky node never saw cross traffic");
+        assert_eq!(busy2, 0, "non-flaky node saw cross traffic");
+    }
+
+    #[test]
+    fn report_components_and_splits_track_graphs() {
+        let mut engine = tiny_engine(EngineConfig::default());
+        engine
+            .submit(ServiceRequest::chain(&[0, 1], 10.0, 2, 3))
+            .unwrap();
+        let r = engine.report();
+        assert_eq!(r.composed, 1);
+        assert_eq!(r.components as usize, engine.app_graph(0).component_count());
+    }
+}

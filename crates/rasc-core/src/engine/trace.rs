@@ -1,0 +1,180 @@
+//! Lightweight control-plane tracing for debugging and demos.
+//!
+//! When enabled, the engine records one entry per *control-plane* event
+//! (compositions, starts, stops, failures — never per data unit, which
+//! would dwarf memory) into a bounded ring. The trace can be inspected
+//! programmatically or dumped as CSV.
+
+use crate::model::AppId;
+use desim::SimTime;
+use simnet::NodeId;
+use std::collections::VecDeque;
+
+/// One control-plane event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A request was composed into `app` with the given component count.
+    Composed {
+        /// The new application id.
+        app: AppId,
+        /// Number of component instances in its execution graph.
+        components: usize,
+        /// Whether any stage was split.
+        split: bool,
+    },
+    /// A request was rejected.
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// An application's sources began emitting.
+    AppStarted {
+        /// The application.
+        app: AppId,
+    },
+    /// An application was torn down (end of lifetime or failure).
+    AppStopped {
+        /// The application.
+        app: AppId,
+    },
+    /// A node crash-stopped.
+    NodeFailed {
+        /// The node.
+        node: NodeId,
+    },
+    /// An application was re-composed after a failure.
+    Recomposed {
+        /// The replacement application id (a fresh id).
+        new_app: AppId,
+    },
+}
+
+/// A bounded ring of timestamped control-plane events.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    ring: VecDeque<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "trace capacity must be positive");
+        Trace {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((at, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as CSV (`time_s,event,detail`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,event,detail\n");
+        for (t, ev) in &self.ring {
+            let (name, detail) = match ev {
+                TraceEvent::Composed {
+                    app,
+                    components,
+                    split,
+                } => (
+                    "composed",
+                    format!("app={app} components={components} split={split}"),
+                ),
+                TraceEvent::Rejected { reason } => ("rejected", reason.clone()),
+                TraceEvent::AppStarted { app } => ("app_started", format!("app={app}")),
+                TraceEvent::AppStopped { app } => ("app_stopped", format!("app={app}")),
+                TraceEvent::NodeFailed { node } => ("node_failed", format!("node={node}")),
+                TraceEvent::Recomposed { new_app } => {
+                    ("recomposed", format!("new_app={new_app}"))
+                }
+            };
+            out.push_str(&format!("{:.6},{},{}\n", t.as_secs_f64(), name, detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new(8);
+        tr.record(t(1), TraceEvent::AppStarted { app: 0 });
+        tr.record(t(2), TraceEvent::AppStopped { app: 0 });
+        assert_eq!(tr.len(), 2);
+        let got: Vec<_> = tr.events().cloned().collect();
+        assert_eq!(got[0].0, t(1));
+        assert_eq!(got[1].1, TraceEvent::AppStopped { app: 0 });
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tr = Trace::new(2);
+        for i in 0..5 {
+            tr.record(t(i), TraceEvent::AppStarted { app: i as usize });
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.evicted(), 3);
+        assert_eq!(tr.events().next().unwrap().0, t(3));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trace::new(4);
+        tr.record(t(1), TraceEvent::NodeFailed { node: 7 });
+        tr.record(
+            t(2),
+            TraceEvent::Composed {
+                app: 3,
+                components: 5,
+                split: true,
+            },
+        );
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("time_s,event,detail\n"));
+        assert!(csv.contains("node_failed,node=7"));
+        assert!(csv.contains("composed,app=3 components=5 split=true"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! RASC — RAte Splitting Composition (Drougas & Kalogeraki, IPDPS 2007).
+//!
+//! The paper's contribution: a distributed stream processing system that
+//! composes applications *dynamically* while meeting their **rate**
+//! requirements, by reducing per-substream component selection + rate
+//! assignment to a minimum-cost flow problem. Where a single node cannot
+//! sustain a service's required rate, RASC instantiates the service as
+//! several components on different nodes, each handling a fraction of the
+//! stream ("rate splitting").
+//!
+//! Crate layout (mirroring the paper's §3 system components):
+//!
+//! * [`model`] — services, service request graphs, substreams, rate
+//!   requirement vectors, execution graphs (§2),
+//! * [`catalog`] — the service catalog and DHT-backed component discovery
+//!   (§3.3),
+//! * [`view`] — the composition-time view of the system: availability
+//!   vectors and drop-ratio feedback per node (§3.2),
+//! * [`compose`] — the minimum-cost composition algorithm (§3.5) plus the
+//!   paper's two baselines (random, greedy),
+//! * [`engine`] — the stream-processing runtime: sources, component
+//!   queues, LLF scheduling (§3.4), rate-splitting dispatch, destination
+//!   tracking — driven by `desim` over `simnet`,
+//! * [`metrics`] — every quantity Figures 6–11 plot (composed requests,
+//!   end-to-end delay, delivered fraction, timeliness, out-of-order
+//!   fraction, jitter).
+//!
+//! # Quick start
+//!
+//! See the `rasc` facade crate's `examples/quickstart.rs` for an
+//! end-to-end run; the short version:
+//!
+//! ```
+//! use rasc_core::compose::ComposerKind;
+//! use rasc_core::engine::{Engine, EngineConfig};
+//! use rasc_core::model::{ServiceCatalog, ServiceRequest};
+//!
+//! // 8 nodes, 4 services, deterministic seed.
+//! let catalog = ServiceCatalog::synthetic(4, 7);
+//! let mut engine = Engine::builder(8, catalog, 7)
+//!     .composer(ComposerKind::MinCost)
+//!     .build();
+//! let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 7);
+//! let outcome = engine.submit(req);
+//! assert!(outcome.is_ok());
+//! engine.run_for_secs(5.0);
+//! let report = engine.report();
+//! assert!(report.delivered > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod compose;
+pub mod engine;
+pub mod metrics;
+pub mod model;
+pub mod view;

@@ -1,0 +1,323 @@
+//! Run metrics: everything Figures 6–11 plot (paper §4.2).
+//!
+//! Destination-side bookkeeping follows the paper's definitions exactly:
+//!
+//! * **delivered** — the unit reached the destination at all (Fig. 8's
+//!   numerator),
+//! * **out of order** — a later-sequence unit of the same substream had
+//!   already arrived, "rendering useless the data carried" (Fig. 10),
+//! * **timely** — delivered in order *and* within the schedule dictated
+//!   by the previous unit's arrival and the required period (Fig. 9),
+//! * **jitter** — the amount by which a unit missed the deadline set by
+//!   its predecessor's arrival plus the period (Fig. 11); on-time units
+//!   contribute zero,
+//! * **end-to-end delay** — destination arrival minus creation (Fig. 7).
+
+use desim::{SimDuration, SimTime};
+use monitor::{Histogram, Welford};
+
+/// Slack factor on the per-unit schedule before a unit counts as late:
+/// a unit is "timely" if it arrives within `(1 + slack) × period` of its
+/// predecessor. The paper says "much later"; 50% grace reads that.
+pub const TIMELINESS_SLACK: f64 = 0.5;
+
+/// Per-substream delivery tracker living at the destination.
+#[derive(Clone, Debug)]
+pub struct SubstreamTracker {
+    period: SimDuration,
+    /// Highest sequence number seen so far (for order checks).
+    max_seq_seen: Option<u64>,
+    /// Arrival time of the previous in-order unit.
+    prev_arrival: Option<SimTime>,
+    delivered: u64,
+    out_of_order: u64,
+    timely: u64,
+    delay: Welford,
+    delay_hist: Histogram,
+    jitter: Welford,
+}
+
+impl SubstreamTracker {
+    /// Creates a tracker for a substream with the given required rate
+    /// (data units per second).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        SubstreamTracker {
+            period: SimDuration::from_secs_f64(1.0 / rate),
+            max_seq_seen: None,
+            prev_arrival: None,
+            delivered: 0,
+            out_of_order: 0,
+            timely: 0,
+            delay: Welford::new(),
+            delay_hist: Histogram::for_latency_ms(),
+            jitter: Welford::new(),
+        }
+    }
+
+    /// Records the arrival of unit `seq` created at `created`.
+    pub fn on_delivery(&mut self, seq: u64, created: SimTime, arrival: SimTime) {
+        self.delivered += 1;
+        let delay_ms = arrival.saturating_since(created).as_millis_f64();
+        self.delay.record(delay_ms);
+        self.delay_hist.record(delay_ms);
+
+        let in_order = match self.max_seq_seen {
+            None => true,
+            Some(max) => seq > max,
+        };
+        if !in_order {
+            self.out_of_order += 1;
+            // Out-of-order units are useless to the application: they do
+            // not advance the schedule and are not timely.
+            return;
+        }
+        self.max_seq_seen = Some(seq);
+
+        // Jitter and timeliness relative to the predecessor's schedule.
+        match self.prev_arrival {
+            None => {
+                // First unit sets the schedule and is timely by definition.
+                self.timely += 1;
+                self.jitter.record(0.0);
+            }
+            Some(prev) => {
+                let deadline = prev + self.period;
+                let late = arrival.saturating_since(deadline).as_millis_f64();
+                self.jitter.record(late);
+                let grace = self.period.mul_f64(1.0 + TIMELINESS_SLACK);
+                if arrival.saturating_since(prev) <= grace {
+                    self.timely += 1;
+                }
+            }
+        }
+        self.prev_arrival = Some(arrival);
+    }
+
+    /// Units delivered (any order).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Units delivered out of order.
+    pub fn out_of_order(&self) -> u64 {
+        self.out_of_order
+    }
+
+    /// Units delivered in order and on schedule.
+    pub fn timely(&self) -> u64 {
+        self.timely
+    }
+
+    /// End-to-end delay accumulator (milliseconds).
+    pub fn delay(&self) -> &Welford {
+        &self.delay
+    }
+
+    /// End-to-end delay distribution (milliseconds).
+    pub fn delay_histogram(&self) -> &Histogram {
+        &self.delay_hist
+    }
+
+    /// Jitter accumulator (milliseconds of lateness).
+    pub fn jitter(&self) -> &Welford {
+        &self.jitter
+    }
+}
+
+/// Where in the pipeline a data unit died.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DropCause {
+    /// A NIC queue overflowed at the sender.
+    NetSender,
+    /// A NIC queue overflowed at the receiver.
+    NetReceiver,
+    /// A node's ready queue was full on arrival.
+    QueueFull,
+    /// The scheduler discarded the unit (negative laxity, §3.4).
+    Laxity,
+    /// The unit's application was torn down while it was in flight.
+    Terminated,
+    /// The unit was headed to (or queued on) a node that failed.
+    NodeFailed,
+}
+
+/// Aggregate counters for one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Requests successfully composed (Fig. 6).
+    pub composed: u64,
+    /// Requests rejected at composition.
+    pub rejected: u64,
+    /// Data units emitted by sources.
+    pub generated: u64,
+    /// Data units that reached their destination.
+    pub delivered: u64,
+    /// Of the delivered: in order and on schedule (Fig. 9).
+    pub timely: u64,
+    /// Of the delivered: out of order (Fig. 10).
+    pub out_of_order: u64,
+    /// Units dropped, by cause.
+    pub drops: [u64; 6],
+    /// End-to-end delay stats in ms (Fig. 7).
+    pub delay_ms: Welford,
+    /// End-to-end delay distribution in ms (for tail reporting).
+    pub delay_hist_ms: Option<Histogram>,
+    /// Jitter stats in ms (Fig. 11).
+    pub jitter_ms: Welford,
+    /// Total component instances deployed.
+    pub components: u64,
+    /// Requests whose execution graph split at least one service.
+    pub split_requests: u64,
+    /// Applications re-composed after a node failure.
+    pub recompositions: u64,
+}
+
+impl RunReport {
+    /// Records a drop.
+    pub fn count_drop(&mut self, cause: DropCause) {
+        self.drops[cause as usize] += 1;
+    }
+
+    /// Total drops across causes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Fraction of generated units that were delivered (Fig. 8's y-axis).
+    pub fn delivered_fraction(&self) -> f64 {
+        ratio(self.delivered, self.generated)
+    }
+
+    /// Fraction of delivered units that were timely (Fig. 9's y-axis).
+    pub fn timely_fraction(&self) -> f64 {
+        ratio(self.timely, self.delivered)
+    }
+
+    /// Fraction of delivered units that arrived out of order (Fig. 10).
+    pub fn out_of_order_fraction(&self) -> f64 {
+        ratio(self.out_of_order, self.delivered)
+    }
+
+    /// Folds a substream tracker's totals into the report.
+    pub fn absorb_tracker(&mut self, t: &SubstreamTracker) {
+        self.delivered += t.delivered();
+        self.timely += t.timely();
+        self.out_of_order += t.out_of_order();
+        self.delay_ms.merge(t.delay());
+        match &mut self.delay_hist_ms {
+            Some(h) => h.merge(t.delay_histogram()),
+            None => self.delay_hist_ms = Some(t.delay_histogram().clone()),
+        }
+        self.jitter_ms.merge(t.jitter());
+    }
+
+    /// Delay at quantile `q`, when any units were delivered.
+    pub fn delay_quantile_ms(&self, q: f64) -> Option<f64> {
+        self.delay_hist_ms.as_ref().and_then(|h| h.quantile(q))
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn in_order_on_time_stream_is_all_timely() {
+        let mut tr = SubstreamTracker::new(10.0); // period 100 ms
+        for i in 0..10u64 {
+            tr.on_delivery(i, t(i * 100), t(i * 100 + 40));
+        }
+        assert_eq!(tr.delivered(), 10);
+        assert_eq!(tr.timely(), 10);
+        assert_eq!(tr.out_of_order(), 0);
+        assert!((tr.delay().mean() - 40.0).abs() < 1e-9);
+        assert_eq!(tr.jitter().mean(), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_detected_and_excluded_from_schedule() {
+        let mut tr = SubstreamTracker::new(10.0);
+        tr.on_delivery(0, t(0), t(50));
+        tr.on_delivery(2, t(200), t(230)); // skips seq 1
+        tr.on_delivery(1, t(100), t(240)); // late straggler: out of order
+        tr.on_delivery(3, t(300), t(330));
+        assert_eq!(tr.delivered(), 4);
+        assert_eq!(tr.out_of_order(), 1);
+        // Units 0, 2, 3 advance the schedule, but unit 2 lands two
+        // periods after unit 0 (seq 1 went missing) — beyond the grace,
+        // so it is late by the paper's definition. 0 and 3 are timely.
+        assert_eq!(tr.timely(), 2);
+    }
+
+    #[test]
+    fn late_units_add_jitter_and_lose_timeliness() {
+        let mut tr = SubstreamTracker::new(10.0); // period 100 ms, grace 150
+        tr.on_delivery(0, t(0), t(10));
+        tr.on_delivery(1, t(100), t(310)); // 300 ms after prev: late
+        assert_eq!(tr.timely(), 1); // only the first
+        // Jitter of the late unit: 310 - (10 + 100) = 200 ms.
+        assert!((tr.jitter().max().unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_within_grace_is_timely_with_small_jitter() {
+        let mut tr = SubstreamTracker::new(10.0);
+        tr.on_delivery(0, t(0), t(10));
+        tr.on_delivery(1, t(100), t(140)); // 130 ms gap ≤ 150 grace
+        assert_eq!(tr.timely(), 2);
+        // Jitter: 140 - 110 = 30 ms.
+        assert!((tr.jitter().max().unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_fractions() {
+        let mut r = RunReport {
+            generated: 100,
+            delivered: 80,
+            timely: 60,
+            out_of_order: 4,
+            ..Default::default()
+        };
+        r.count_drop(DropCause::NetSender);
+        r.count_drop(DropCause::Laxity);
+        r.count_drop(DropCause::Laxity);
+        assert_eq!(r.total_drops(), 3);
+        assert!((r.delivered_fraction() - 0.8).abs() < 1e-12);
+        assert!((r.timely_fraction() - 0.75).abs() < 1e-12);
+        assert!((r.out_of_order_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_fractions_are_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.delivered_fraction(), 0.0);
+        assert_eq!(r.timely_fraction(), 0.0);
+        assert_eq!(r.out_of_order_fraction(), 0.0);
+    }
+
+    #[test]
+    fn absorb_tracker_merges() {
+        let mut tr = SubstreamTracker::new(20.0);
+        tr.on_delivery(0, t(0), t(30));
+        tr.on_delivery(1, t(50), t(80));
+        let mut r = RunReport::default();
+        r.absorb_tracker(&tr);
+        assert_eq!(r.delivered, 2);
+        assert_eq!(r.timely, 2);
+        assert_eq!(r.delay_ms.count(), 2);
+        assert!((r.delay_ms.mean() - 30.0).abs() < 1e-9);
+    }
+}

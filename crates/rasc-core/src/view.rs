@@ -1,0 +1,279 @@
+//! The composition-time view of the system (§3.2's monitoring output).
+//!
+//! When a request arrives, RASC gathers from the candidate hosts their
+//! availability vectors `A_n = [b_in, b_out]` and recent drop ratios.
+//! The [`SystemView`] is that snapshot. The engine builds a fresh view
+//! per composition from its measurement windows and committed-rate
+//! ledger (`max(measured, committed)` per NIC direction); within one
+//! composition, the composers additionally reserve into the view as they
+//! place substreams, so multi-substream requests account for their own
+//! earlier placements (Algorithm 1's capacity update). All three
+//! composition algorithms read the same snapshot, so they face identical
+//! capacity constraints.
+
+use monitor::ResourceVector;
+use simnet::{NodeId, Topology};
+
+/// Per-node availability snapshot used by the composers.
+#[derive(Clone, Debug)]
+pub struct SystemView {
+    /// Remaining (unreserved) capacity per node: `[b_in, b_out]` bits/s.
+    avail: Vec<ResourceVector>,
+    /// Admittable capacity per node (NIC rate × headroom), the reference
+    /// for utilization computations.
+    cap: Vec<ResourceVector>,
+    /// Remaining CPU per node, in cores. `INFINITY` = unconstrained
+    /// (the paper's evaluated configuration; finite values implement its
+    /// stated future work, "multiple resource constraints", §6).
+    cpu_avail: Vec<f64>,
+    /// Admittable CPU per node, in cores.
+    cpu_cap: Vec<f64>,
+    /// Most recent drop ratio per node (0..=1), from the monitoring
+    /// windows.
+    drop_ratio: Vec<f64>,
+}
+
+impl SystemView {
+    /// Builds a view with full capacities from the topology and zero
+    /// drop ratios (fresh system).
+    pub fn fresh(topology: &Topology) -> Self {
+        Self::with_headroom(topology, 1.0)
+    }
+
+    /// Builds a view that only admits up to `headroom` (0, 1] of each
+    /// NIC's rate. Keeping reservations below the physical rate bounds
+    /// per-node utilization, and with it queueing delay — a NIC reserved
+    /// to 100% runs at ρ≈1 and its delay diverges, which no admission
+    /// controller deployed on a shared testbed would allow.
+    pub fn with_headroom(topology: &Topology, headroom: f64) -> Self {
+        assert!(headroom > 0.0 && headroom <= 1.0, "headroom in (0, 1]");
+        let cap: Vec<ResourceVector> = (0..topology.len())
+            .map(|v| {
+                let s = topology.spec(v);
+                ResourceVector::bandwidth(s.bw_in * headroom, s.bw_out * headroom)
+            })
+            .collect();
+        SystemView {
+            avail: cap.clone(),
+            drop_ratio: vec![0.0; topology.len()],
+            cpu_avail: vec![f64::INFINITY; topology.len()],
+            cpu_cap: vec![f64::INFINITY; topology.len()],
+            cap,
+        }
+    }
+
+    /// Enables the CPU dimension for node `v` with `cores` of admittable
+    /// processing capacity (already headroom-scaled by the caller).
+    pub fn set_cpu_capacity(&mut self, v: NodeId, cores: f64) {
+        assert!(cores >= 0.0 && cores.is_finite(), "invalid CPU capacity");
+        self.cpu_cap[v] = cores;
+        self.cpu_avail[v] = cores;
+    }
+
+    /// Deducts measured/committed CPU usage (in cores) from `v`.
+    pub fn consume_measured_cpu(&mut self, v: NodeId, cores_in_use: f64) {
+        if self.cpu_avail[v].is_finite() {
+            self.cpu_avail[v] = (self.cpu_avail[v] - cores_in_use.max(0.0)).max(0.0);
+        }
+    }
+
+    /// Remaining CPU of `v` in cores (`INFINITY` when unconstrained).
+    pub fn cpu_avail(&self, v: NodeId) -> f64 {
+        self.cpu_avail[v]
+    }
+
+    /// Reserved fraction of the node's binding resource (0 = idle,
+    /// 1 = fully reserved). The paper observes that drop probability
+    /// grows with load (§2.2); composers may fold this into edge costs
+    /// as the predictive part of the drop signal.
+    pub fn utilization(&self, v: NodeId) -> f64 {
+        let mut u: f64 = 0.0;
+        for j in 0..self.cap[v].dims() {
+            let cap = self.cap[v].get(j);
+            if cap > 0.0 {
+                u = u.max(1.0 - self.avail[v].get(j) / cap);
+            }
+        }
+        if self.cpu_cap[v].is_finite() && self.cpu_cap[v] > 0.0 {
+            u = u.max(1.0 - self.cpu_avail[v] / self.cpu_cap[v]);
+        }
+        u.clamp(0.0, 1.0)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.avail.len()
+    }
+
+    /// True when the view covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.avail.is_empty()
+    }
+
+    /// Remaining availability vector of `v`.
+    pub fn avail(&self, v: NodeId) -> &ResourceVector {
+        &self.avail[v]
+    }
+
+    /// Last observed drop ratio of `v`.
+    pub fn drop_ratio(&self, v: NodeId) -> f64 {
+        self.drop_ratio[v]
+    }
+
+    /// Updates the drop-ratio feedback for `v` (the engine pushes fresh
+    /// window readings before each composition).
+    pub fn set_drop_ratio(&mut self, v: NodeId, ratio: f64) {
+        assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+        self.drop_ratio[v] = ratio;
+    }
+
+    /// `r_max(c, n)` for a component whose unit occupies `unit_bits` on
+    /// both NIC directions scaled by the rate ratio on output (§3.5):
+    /// the largest ingest rate (du/s) node `v` can still accept.
+    pub fn max_rate(&self, v: NodeId, unit_bits: u64, rate_ratio: f64) -> f64 {
+        let per_unit = Self::per_unit(unit_bits, rate_ratio);
+        self.avail[v].max_rate(&per_unit)
+    }
+
+    /// [`max_rate`](Self::max_rate) with the CPU dimension: the largest
+    /// ingest rate for a component that also needs `exec_secs` of CPU
+    /// per data unit. Equals `max_rate` when `v`'s CPU is unconstrained.
+    pub fn max_rate_with_cpu(
+        &self,
+        v: NodeId,
+        unit_bits: u64,
+        rate_ratio: f64,
+        exec_secs: f64,
+    ) -> f64 {
+        let bw = self.max_rate(v, unit_bits, rate_ratio);
+        if self.cpu_avail[v].is_finite() && exec_secs > 0.0 {
+            bw.min(self.cpu_avail[v] / exec_secs)
+        } else {
+            bw
+        }
+    }
+
+    /// Reserves bandwidth on `v` for a component ingesting at `rate`
+    /// du/s. `rate_ratio` scales the output-side reservation.
+    pub fn reserve_component(&mut self, v: NodeId, unit_bits: u64, rate_ratio: f64, rate: f64) {
+        let per_unit = Self::per_unit(unit_bits, rate_ratio);
+        self.avail[v].consume(&per_unit, rate);
+    }
+
+    /// Reserves the CPU of a component processing `rate` du/s at
+    /// `exec_secs` each. No-op when `v`'s CPU is unconstrained.
+    pub fn reserve_cpu(&mut self, v: NodeId, exec_secs: f64, rate: f64) {
+        if self.cpu_avail[v].is_finite() {
+            self.cpu_avail[v] = (self.cpu_avail[v] - exec_secs * rate).max(0.0);
+        }
+    }
+
+    /// Releases a component's reservation (teardown).
+    pub fn release_component(&mut self, v: NodeId, unit_bits: u64, rate_ratio: f64, rate: f64) {
+        let per_unit = Self::per_unit(unit_bits, rate_ratio);
+        self.avail[v].release(&per_unit, rate);
+    }
+
+    /// Deducts *measured* traffic (bits/s, from the throughput meters)
+    /// from the node's availability — the paper's §3.2 monitoring path:
+    /// "the input and output bandwidth utilized are calculated by
+    /// continuously monitoring the rates of incoming and outgoing data
+    /// units".
+    pub fn consume_measured(&mut self, v: NodeId, in_bps: f64, out_bps: f64) {
+        self.avail[v].consume(&ResourceVector::bandwidth(in_bps, out_bps), 1.0);
+    }
+
+    /// Reserves source-side output bandwidth (the origin emits at `rate`).
+    pub fn reserve_source(&mut self, v: NodeId, unit_bits: u64, rate: f64) {
+        self.avail[v].consume(&ResourceVector::bandwidth(0.0, unit_bits as f64), rate);
+    }
+
+    /// Reserves destination-side input bandwidth.
+    pub fn reserve_destination(&mut self, v: NodeId, unit_bits: u64, rate: f64) {
+        self.avail[v].consume(&ResourceVector::bandwidth(unit_bits as f64, 0.0), rate);
+    }
+
+    /// Remaining output-side rate capacity of `v` in du/s.
+    pub fn out_rate_capacity(&self, v: NodeId, unit_bits: u64) -> f64 {
+        self.avail[v].get(1) / unit_bits as f64
+    }
+
+    /// Remaining input-side rate capacity of `v` in du/s.
+    pub fn in_rate_capacity(&self, v: NodeId, unit_bits: u64) -> f64 {
+        self.avail[v].get(0) / unit_bits as f64
+    }
+
+    fn per_unit(unit_bits: u64, rate_ratio: f64) -> ResourceVector {
+        ResourceVector::bandwidth(unit_bits as f64, unit_bits as f64 * rate_ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimDuration;
+    use simnet::Topology;
+
+    fn view() -> SystemView {
+        // 2 nodes at 1 Mbps symmetric.
+        SystemView::fresh(&Topology::uniform(
+            2,
+            1_000_000.0,
+            SimDuration::from_millis(10),
+        ))
+    }
+
+    #[test]
+    fn fresh_view_has_full_capacity_and_zero_drops() {
+        let v = view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.drop_ratio(0), 0.0);
+        // 1 Mbps / 8192 bits ≈ 122 du/s.
+        let r = v.max_rate(0, 8192, 1.0);
+        assert!((r - 1_000_000.0 / 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservation_reduces_max_rate() {
+        let mut v = view();
+        v.reserve_component(0, 8192, 1.0, 50.0);
+        let r = v.max_rate(0, 8192, 1.0);
+        assert!((r - (1_000_000.0 / 8192.0 - 50.0)).abs() < 1e-9);
+        v.release_component(0, 8192, 1.0, 50.0);
+        assert!((v.max_rate(0, 8192, 1.0) - 1_000_000.0 / 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_ratio_weights_output_side() {
+        let mut v = view();
+        // Ratio 2: output is the bottleneck at half the input rate.
+        let r = v.max_rate(0, 8192, 2.0);
+        assert!((r - 1_000_000.0 / (2.0 * 8192.0)).abs() < 1e-9);
+        v.reserve_component(0, 8192, 2.0, 10.0);
+        assert!((v.in_rate_capacity(0, 8192) - (1_000_000.0 / 8192.0 - 10.0)).abs() < 1e-9);
+        assert!((v.out_rate_capacity(0, 8192) - (1_000_000.0 / 8192.0 - 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_reservations_are_one_sided() {
+        let mut v = view();
+        v.reserve_source(0, 8192, 30.0);
+        assert!((v.in_rate_capacity(0, 8192) - 1_000_000.0 / 8192.0).abs() < 1e-9);
+        assert!((v.out_rate_capacity(0, 8192) - (1_000_000.0 / 8192.0 - 30.0)).abs() < 1e-9);
+        v.reserve_destination(1, 8192, 30.0);
+        assert!((v.in_rate_capacity(1, 8192) - (1_000_000.0 / 8192.0 - 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_ratio_updates() {
+        let mut v = view();
+        v.set_drop_ratio(1, 0.25);
+        assert_eq!(v.drop_ratio(1), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_ratio_rejected() {
+        view().set_drop_ratio(0, 1.5);
+    }
+}

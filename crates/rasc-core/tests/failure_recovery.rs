@@ -1,0 +1,153 @@
+//! Failure handling: crash-stopping a node must not panic, must keep
+//! the registry consistent, and must dynamically re-compose the affected
+//! applications on surviving nodes.
+
+use desim::SimDuration;
+use rasc_core::compose::ComposerKind;
+use rasc_core::engine::{Engine, EngineConfig};
+use rasc_core::metrics::DropCause;
+use rasc_core::model::{ServiceCatalog, ServiceRequest};
+use simnet::{kbps, TopologyBuilder};
+
+/// 6 provider nodes (all offering both services) + endpoints 6, 7.
+fn engine() -> Engine {
+    let catalog = ServiceCatalog::synthetic(2, 21);
+    let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(15));
+    for _ in 0..8 {
+        b.node(kbps(2_000.0), kbps(2_000.0));
+    }
+    let mut offers = vec![vec![0, 1]; 6];
+    offers.push(vec![]);
+    offers.push(vec![]);
+    Engine::builder(8, catalog, 21)
+        .topology(b.build())
+        .offers(offers)
+        .config(EngineConfig {
+            composer: ComposerKind::MinCost,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn hosts_of(engine: &Engine, app: usize) -> Vec<usize> {
+    engine
+        .app_graph(app)
+        .substreams
+        .iter()
+        .flatten()
+        .flat_map(|s| s.placements.iter().map(|p| p.node))
+        .collect()
+}
+
+#[test]
+fn app_recomposes_around_a_failed_provider() {
+    let mut e = engine();
+    let app = e
+        .submit(ServiceRequest::chain(&[0, 1], 15.0, 6, 7))
+        .unwrap();
+    e.run_for_secs(10.0);
+    let delivered_before = e.report().delivered;
+    assert!(delivered_before > 0);
+
+    // Kill one of the app's hosts.
+    let victim = hosts_of(&e, app)[0];
+    e.fail_node(victim);
+    assert!(!e.node_alive(victim));
+    let r = e.report();
+    assert_eq!(r.recompositions, 1);
+    assert_eq!(r.composed, 2, "recomposition re-ran composition");
+
+    // The replacement graph avoids the corpse and delivery resumes.
+    let new_app = e.app_count() - 1;
+    assert!(
+        !hosts_of(&e, new_app).contains(&victim),
+        "recomposed onto the failed node"
+    );
+    e.run_for_secs(15.0);
+    let r2 = e.report();
+    assert!(
+        r2.delivered > delivered_before + 100,
+        "delivery did not resume: {} -> {}",
+        delivered_before,
+        r2.delivered
+    );
+}
+
+#[test]
+fn discovery_forgets_failed_providers() {
+    let mut e = engine();
+    e.fail_node(2);
+    for s in 0..2 {
+        let providers = e.directory().providers(s);
+        assert!(!providers.contains(&2), "dead node still advertised");
+        assert!(providers.len() >= 4, "survivors lost registrations");
+    }
+}
+
+#[test]
+fn endpoint_failure_stops_the_app_without_recomposition() {
+    let mut e = engine();
+    e.submit(ServiceRequest::chain(&[0], 10.0, 6, 7)).unwrap();
+    e.run_for_secs(5.0);
+    let generated_before = e.report().generated;
+    e.fail_node(6); // the source: nothing to recompose onto
+    let r = e.report();
+    assert_eq!(r.recompositions, 0);
+    e.run_for_secs(10.0);
+    let r2 = e.report();
+    assert!(
+        r2.generated <= generated_before + 2,
+        "source kept emitting after its node died"
+    );
+}
+
+#[test]
+fn failing_a_bystander_changes_nothing_for_the_app() {
+    let mut e = engine();
+    let app = e
+        .submit(ServiceRequest::chain(&[0], 10.0, 6, 7))
+        .unwrap();
+    let used = hosts_of(&e, app);
+    let bystander = (0..6).find(|v| !used.contains(v)).expect("a free provider");
+    e.fail_node(bystander);
+    assert_eq!(e.report().recompositions, 0);
+    e.run_for_secs(10.0);
+    let r = e.report();
+    assert!(r.delivered_fraction() > 0.95, "{r:?}");
+}
+
+#[test]
+fn double_failure_is_idempotent_and_accounted() {
+    let mut e = engine();
+    e.submit(ServiceRequest::chain(&[0, 1], 12.0, 6, 7)).unwrap();
+    e.run_for_secs(3.0);
+    e.fail_node(0);
+    let after_first = e.report().recompositions;
+    e.fail_node(0); // again: no-op
+    assert_eq!(e.report().recompositions, after_first);
+    e.run_for_secs(5.0);
+    let r = e.report();
+    // Conservation including NodeFailed drops.
+    assert!(r.delivered + r.total_drops() <= r.generated);
+    let _ = r.drops[DropCause::NodeFailed as usize];
+}
+
+#[test]
+fn cascading_failures_leave_a_working_system() {
+    let mut e = engine();
+    e.submit(ServiceRequest::chain(&[0, 1], 10.0, 6, 7)).unwrap();
+    e.run_for_secs(3.0);
+    // Fail half the providers one by one; each time, either recompose or
+    // reject — never panic, never corrupt accounting.
+    for v in 0..3 {
+        e.fail_node(v);
+        e.run_for_secs(3.0);
+    }
+    let r = e.report();
+    assert!(r.delivered + r.total_drops() <= r.generated);
+    // The final app (whatever its generation) still delivers on the
+    // surviving providers.
+    let before = e.report().delivered;
+    e.run_for_secs(10.0);
+    assert!(e.report().delivered > before, "system wedged after churn");
+}

@@ -1,0 +1,183 @@
+//! Property tests over the composition algorithms on random instances:
+//! structural validity, rate conservation, rollback discipline, and the
+//! dominance property (min-cost admits everything single-placement can).
+
+use desim::SimRng;
+use proptest::prelude::*;
+use rasc_core::compose::{
+    Composer, ComposerKind, GreedyComposer, MinCostComposer, ProviderMap, RandomComposer,
+};
+use rasc_core::model::{ServiceCatalog, ServiceRequest};
+use rasc_core::view::SystemView;
+use simnet::{kbps, Topology};
+
+#[derive(Clone, Debug)]
+struct Instance {
+    nodes: usize,
+    bw_kbps: Vec<f64>,
+    providers: Vec<Vec<usize>>, // per service
+    chain: Vec<usize>,
+    rate: f64,
+    drop_ratios: Vec<f64>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (4usize..12, 1usize..4).prop_flat_map(|(nodes, services)| {
+        let bw = proptest::collection::vec(100.0f64..2000.0, nodes);
+        let provider_sets = proptest::collection::vec(
+            proptest::collection::vec(0..nodes.saturating_sub(2), 1..nodes),
+            services,
+        );
+        let chain = proptest::collection::vec(0..services, 1..=services.min(3));
+        let drops = proptest::collection::vec(0.0f64..0.5, nodes);
+        (bw, provider_sets, chain, 1.0f64..80.0, drops).prop_map(
+            move |(bw_kbps, mut providers, chain, rate, drop_ratios)| {
+                for p in &mut providers {
+                    p.sort_unstable();
+                    p.dedup();
+                }
+                Instance {
+                    nodes,
+                    bw_kbps,
+                    providers,
+                    chain,
+                    rate,
+                    drop_ratios,
+                }
+            },
+        )
+    })
+}
+
+fn build(inst: &Instance) -> (ServiceCatalog, SystemView, ProviderMap, ServiceRequest) {
+    let catalog = ServiceCatalog::synthetic(inst.providers.len(), 1);
+    // Uniform topology scaled per node via consume (approximate
+    // heterogeneity within the SystemView API).
+    let max_bw = inst.bw_kbps.iter().cloned().fold(0.0, f64::max);
+    let mut view = SystemView::fresh(&Topology::uniform(
+        inst.nodes,
+        kbps(max_bw),
+        desim::SimDuration::from_millis(10),
+    ));
+    for (v, &bw) in inst.bw_kbps.iter().enumerate() {
+        let excess = kbps(max_bw) - kbps(bw);
+        view.consume_measured(v, excess, excess);
+        view.set_drop_ratio(v, inst.drop_ratios[v]);
+    }
+    let mut providers = ProviderMap::new();
+    for (s, hosts) in inst.providers.iter().enumerate() {
+        providers.insert(s, hosts.clone());
+    }
+    let req = ServiceRequest::chain(&inst.chain, inst.rate, inst.nodes - 2, inst.nodes - 1);
+    (catalog, view, providers, req)
+}
+
+fn all_composers() -> Vec<(ComposerKind, Box<dyn Composer>)> {
+    vec![
+        (ComposerKind::MinCost, Box::new(MinCostComposer::default())),
+        (ComposerKind::Random, Box::new(RandomComposer)),
+        (ComposerKind::Greedy, Box::new(GreedyComposer)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// On success: every placement is a provider, every stage's rates
+    /// sum to the requirement, and reservations landed in the view. On
+    /// failure: the view is untouched.
+    #[test]
+    fn compositions_are_valid_or_rolled_back(inst in instance_strategy()) {
+        for (kind, mut composer) in all_composers() {
+            let (catalog, mut view, providers, req) = build(&inst);
+            let before = view.clone();
+            let mut rng = SimRng::new(7);
+            match composer.compose(&req, &catalog, &providers, &mut view, &mut rng) {
+                Ok(graph) => {
+                    for (l, stages) in graph.substreams.iter().enumerate() {
+                        prop_assert_eq!(stages.len(), req.graph.substreams[l].services.len());
+                        for stage in stages {
+                            let total = stage.total_rate();
+                            prop_assert!(
+                                (total - req.rates[l]).abs() < 1e-2,
+                                "{:?}: stage rate {} vs required {}", kind, total, req.rates[l]
+                            );
+                            for p in &stage.placements {
+                                prop_assert!(
+                                    providers[&stage.service].contains(&p.node),
+                                    "{:?} placed on non-provider", kind
+                                );
+                                prop_assert!(p.rate > 0.0);
+                            }
+                        }
+                    }
+                    // Reservations took effect somewhere.
+                    let touched = (0..inst.nodes).any(|v| view.avail(v) != before.avail(v));
+                    prop_assert!(touched, "{:?}: success without reservations", kind);
+                }
+                Err(_) => {
+                    for v in 0..inst.nodes {
+                        prop_assert_eq!(
+                            view.avail(v), before.avail(v),
+                            "{:?}: view mutated on failure", kind
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dominance: whenever greedy or random can compose a request,
+    /// min-cost can too (a single placement is a feasible flow).
+    #[test]
+    fn mincost_dominates_single_placement(inst in instance_strategy()) {
+        let (catalog, view, providers, req) = build(&inst);
+        let mut rng = SimRng::new(9);
+        let greedy_ok = GreedyComposer
+            .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng)
+            .is_ok();
+        let random_ok = RandomComposer
+            .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng)
+            .is_ok();
+        let mincost_ok = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng)
+            .is_ok();
+        if greedy_ok || random_ok {
+            prop_assert!(
+                mincost_ok,
+                "min-cost rejected a request a baseline admitted"
+            );
+        }
+    }
+
+    /// Min-cost compositions route through the cheapest viable hosts:
+    /// the rate-weighted drop cost of its graph never exceeds greedy's.
+    #[test]
+    fn mincost_cost_never_exceeds_greedy(inst in instance_strategy()) {
+        let (catalog, view, providers, req) = build(&inst);
+        let mut rng = SimRng::new(11);
+        let cost_of = |graph: &rasc_core::model::ExecutionGraph, v: &SystemView| {
+            graph
+                .substreams
+                .iter()
+                .flatten()
+                .flat_map(|s| s.placements.iter())
+                .map(|p| p.rate * v.drop_ratio(p.node))
+                .sum::<f64>()
+        };
+        let g = GreedyComposer.compose(&req, &catalog, &providers, &mut view.clone(), &mut rng);
+        let m = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng);
+        if let (Ok(gg), Ok(mg)) = (g, m) {
+            let (gc, mc) = (cost_of(&gg, &view), cost_of(&mg, &view));
+            // Min-cost also prices utilization and latency; allow those
+            // weaker terms to trade against at most a whisker of drop
+            // cost (both secondary weights are ≤ 1/10 of a drop unit,
+            // and rounding to milli-units adds quantization slack).
+            prop_assert!(
+                mc <= gc + 0.15 * req.rates[0].max(1.0),
+                "min-cost drop cost {} far above greedy {}", mc, gc
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The unit of scheduling: a data unit awaiting its component's CPU.
+
+use desim::{SimDuration, SimTime};
+
+/// Timing attributes of a queued data unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobMeta {
+    /// When the unit arrived at this node.
+    pub arrival: SimTime,
+    /// Absolute deadline: the expected arrival of the component's next
+    /// unit (`arr + p_ci`, paper §3.4).
+    pub deadline: SimTime,
+    /// Estimated execution time `t_ci` (from the monitoring window).
+    pub exec_time: SimDuration,
+}
+
+impl JobMeta {
+    /// Laxity at time `now`: slack remaining before the unit must start
+    /// to finish by its deadline. Negative ⇒ the deadline will be missed.
+    pub fn laxity(&self, now: SimTime) -> f64 {
+        let slack = self.deadline.as_secs_f64() - now.as_secs_f64();
+        slack - self.exec_time.as_secs_f64()
+    }
+
+    /// Whether the unit can still meet its deadline if started at `now`.
+    pub fn schedulable(&self, now: SimTime) -> bool {
+        self.laxity(now) >= 0.0
+    }
+}
+
+/// A queued data unit: scheduling metadata plus an opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Job<T> {
+    /// Timing attributes used by the policies.
+    pub meta: JobMeta,
+    /// Caller data carried through the queue untouched.
+    pub payload: T,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laxity_is_slack_minus_exec() {
+        let m = JobMeta {
+            arrival: SimTime::from_millis(0),
+            deadline: SimTime::from_millis(100),
+            exec_time: SimDuration::from_millis(30),
+        };
+        assert!((m.laxity(SimTime::from_millis(0)) - 0.070).abs() < 1e-9);
+        assert!((m.laxity(SimTime::from_millis(70)) - 0.0).abs() < 1e-9);
+        assert!(m.schedulable(SimTime::from_millis(70)));
+        assert!(!m.schedulable(SimTime::from_millis(71)));
+        assert!(m.laxity(SimTime::from_millis(100)) < 0.0);
+    }
+}

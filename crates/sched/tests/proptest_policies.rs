@@ -1,0 +1,175 @@
+//! Property tests over the scheduling policies: selection correctness,
+//! drop discipline, capacity bounds, and work conservation.
+
+use desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use sched::{make_scheduler, Job, JobMeta, Policy};
+
+#[derive(Clone, Debug)]
+struct JobSpec {
+    arrival_ms: u64,
+    rel_deadline_ms: u64,
+    exec_ms: u64,
+}
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (0u64..1000, 1u64..500, 1u64..100).prop_map(|(arrival_ms, rel_deadline_ms, exec_ms)| {
+        JobSpec {
+            arrival_ms,
+            rel_deadline_ms,
+            exec_ms,
+        }
+    })
+}
+
+fn to_job(id: usize, s: &JobSpec) -> Job<usize> {
+    Job {
+        meta: JobMeta {
+            arrival: SimTime::from_millis(s.arrival_ms),
+            deadline: SimTime::from_millis(s.arrival_ms + s.rel_deadline_ms),
+            exec_time: SimDuration::from_millis(s.exec_ms),
+        },
+        payload: id,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Work conservation: across all policies, every enqueued job is
+    /// eventually either chosen or dropped — never lost.
+    #[test]
+    fn no_job_is_lost(
+        specs in proptest::collection::vec(job_strategy(), 1..40),
+        now_ms in 0u64..2000,
+    ) {
+        for policy in [Policy::Llf, Policy::Edf, Policy::Fifo] {
+            let mut s = make_scheduler::<usize>(policy, 64);
+            let mut enqueued = Vec::new();
+            for (i, spec) in specs.iter().enumerate() {
+                if s.enqueue(to_job(i, spec)).is_ok() {
+                    enqueued.push(i);
+                }
+            }
+            let now = SimTime::from_millis(now_ms);
+            let mut seen = Vec::new();
+            loop {
+                let out = s.dispatch(now);
+                seen.extend(out.dropped.iter().map(|j| j.payload));
+                match out.chosen {
+                    Some(j) => seen.push(j.payload),
+                    None => break,
+                }
+            }
+            seen.sort_unstable();
+            enqueued.sort_unstable();
+            prop_assert_eq!(seen, enqueued, "{:?} lost a job", policy);
+        }
+    }
+
+    /// LLF/EDF never *choose* an unschedulable job, and everything they
+    /// drop is genuinely hopeless at the dispatch instant.
+    #[test]
+    fn deadline_policies_drop_exactly_the_hopeless(
+        specs in proptest::collection::vec(job_strategy(), 1..40),
+        now_ms in 0u64..2000,
+    ) {
+        let now = SimTime::from_millis(now_ms);
+        for policy in [Policy::Llf, Policy::Edf] {
+            let mut s = make_scheduler::<usize>(policy, 64);
+            for (i, spec) in specs.iter().enumerate() {
+                let _ = s.enqueue(to_job(i, spec));
+            }
+            let out = s.dispatch(now);
+            for d in &out.dropped {
+                prop_assert!(!d.meta.schedulable(now), "{:?} dropped a viable job", policy);
+            }
+            if let Some(j) = &out.chosen {
+                prop_assert!(j.meta.schedulable(now), "{:?} chose a hopeless job", policy);
+            }
+        }
+    }
+
+    /// LLF picks the minimum laxity among schedulable jobs; EDF the
+    /// minimum deadline.
+    #[test]
+    fn selection_minimizes_its_criterion(
+        specs in proptest::collection::vec(job_strategy(), 1..40),
+        now_ms in 0u64..2000,
+    ) {
+        let now = SimTime::from_millis(now_ms);
+        let viable: Vec<(usize, &JobSpec)> = specs
+            .iter()
+            .enumerate()
+            .filter(|(i, spec)| to_job(*i, spec).meta.schedulable(now))
+            .collect();
+        // LLF
+        let mut llf = make_scheduler::<usize>(Policy::Llf, 64);
+        for (i, spec) in specs.iter().enumerate() {
+            let _ = llf.enqueue(to_job(i, spec));
+        }
+        if let Some(chosen) = llf.dispatch(now).chosen {
+            let min_lax = viable
+                .iter()
+                .map(|(i, spec)| to_job(*i, spec).meta.laxity(now))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((chosen.meta.laxity(now) - min_lax).abs() < 1e-12);
+        } else {
+            prop_assert!(viable.is_empty());
+        }
+        // EDF
+        let mut edf = make_scheduler::<usize>(Policy::Edf, 64);
+        for (i, spec) in specs.iter().enumerate() {
+            let _ = edf.enqueue(to_job(i, spec));
+        }
+        if let Some(chosen) = edf.dispatch(now).chosen {
+            let min_dl = viable
+                .iter()
+                .map(|(i, spec)| to_job(*i, spec).meta.deadline)
+                .min()
+                .unwrap();
+            prop_assert_eq!(chosen.meta.deadline, min_dl);
+        }
+    }
+
+    /// FIFO emits in exact enqueue order and never drops at dispatch.
+    #[test]
+    fn fifo_is_fifo(specs in proptest::collection::vec(job_strategy(), 1..40)) {
+        let mut s = make_scheduler::<usize>(Policy::Fifo, 64);
+        let mut order = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if s.enqueue(to_job(i, spec)).is_ok() {
+                order.push(i);
+            }
+        }
+        let mut got = Vec::new();
+        loop {
+            let out = s.dispatch(SimTime::from_secs(1_000));
+            prop_assert!(out.dropped.is_empty());
+            match out.chosen {
+                Some(j) => got.push(j.payload),
+                None => break,
+            }
+        }
+        prop_assert_eq!(got, order);
+    }
+
+    /// Capacity is a hard bound for every policy.
+    #[test]
+    fn capacity_is_respected(
+        cap in 1usize..16,
+        specs in proptest::collection::vec(job_strategy(), 1..40),
+    ) {
+        for policy in [Policy::Llf, Policy::Edf, Policy::Fifo] {
+            let mut s = make_scheduler::<usize>(policy, cap);
+            let mut accepted = 0usize;
+            for (i, spec) in specs.iter().enumerate() {
+                if s.enqueue(to_job(i, spec)).is_ok() {
+                    accepted += 1;
+                }
+                prop_assert!(s.len() <= cap);
+            }
+            prop_assert_eq!(accepted, specs.len().min(cap));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Wide-area network substrate for the RASC reproduction.
+//!
+//! The paper evaluated RASC on 32 PlanetLab hosts. This crate replaces the
+//! testbed with a deterministic queueing model of a wide-area overlay:
+//!
+//! * a [`Topology`] holds per-node input/output NIC bandwidths and a full
+//!   pairwise propagation-latency matrix (generators produce
+//!   PlanetLab-like heterogeneous draws),
+//! * a [`Network`] tracks NIC busy periods: a message of `S` bits sent
+//!   `u → v` is serialized through `u`'s output NIC at `b_out(u)`, crosses
+//!   the link after `latency(u, v)` (plus optional jitter), then is
+//!   serialized through `v`'s input NIC at `b_in(v)` — the "two rate-served
+//!   queues + propagation" model standard in overlay simulation,
+//! * messages that would wait longer than the configured NIC backlog bound
+//!   are **dropped** at the offending NIC, which is how bandwidth overload
+//!   manifests to the upper layers (paper §3.2's drop feedback),
+//! * per-node [`NodeStats`] counters feed RASC's resource monitoring.
+//!
+//! The model is analytic (busy-until timestamps), so `send` computes the
+//! delivery time immediately; the caller schedules the delivery in its own
+//! `desim` event queue. This keeps the substrate composable: the stream
+//! runtime, the Pastry overlay, and control messages all share the same
+//! NICs and therefore contend for the same bandwidth, as they did on
+//! PlanetLab.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{SimDuration, SimTime};
+//! use simnet::{kbps, Network, NetworkConfig, SendOutcome, Topology};
+//!
+//! let topo = Topology::uniform(2, kbps(1_000.0), SimDuration::from_millis(20));
+//! let mut net = Network::new(topo, NetworkConfig {
+//!     latency_jitter_sigma: 0.0,
+//!     congestion_jitter: 0.0,
+//!     ..Default::default()
+//! });
+//! // 10 Kbit at 1 Mb/s: ~10 ms tx + 20 ms propagation + ~10 ms rx.
+//! match net.send(SimTime::ZERO, 0, 1, 10_000) {
+//!     SendOutcome::Delivered(at) => assert_eq!(at, SimTime::from_millis(40)),
+//!     other => panic!("{other:?}"),
+//! }
+//! assert_eq!(net.stats(1).msgs_in, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod nic;
+mod stats;
+mod topology;
+
+pub use network::{DropReason, Network, NetworkConfig, SendOutcome};
+pub use nic::Nic;
+pub use stats::NodeStats;
+pub use topology::{NodeSpec, Topology, TopologyBuilder};
+
+/// Index of a node in the network (dense, `0..n`).
+pub type NodeId = usize;
+
+/// Bits per second.
+pub type Bandwidth = f64;
+
+/// Converts kilobits/s to bits/s (the paper quotes rates in Kb/s).
+#[inline]
+pub fn kbps(k: f64) -> Bandwidth {
+    k * 1_000.0
+}
+
+/// Converts megabits/s to bits/s.
+#[inline]
+pub fn mbps(m: f64) -> Bandwidth {
+    m * 1_000_000.0
+}

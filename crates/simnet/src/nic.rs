@@ -1,0 +1,169 @@
+//! A rate-served NIC queue modeled analytically by a busy-until timestamp.
+
+use crate::Bandwidth;
+use desim::{SimDuration, SimTime};
+
+/// One direction of a node's network interface.
+///
+/// The NIC serializes messages at its configured rate. Instead of
+/// simulating each byte, we track the time at which the interface becomes
+/// free; a message arriving at `t` starts transmitting at
+/// `max(t, free_at)` and holds the NIC for `bits / rate`. The difference
+/// `free_at − now` is the queueing backlog; when it would exceed
+/// `max_backlog` the message is dropped (queue overflow).
+#[derive(Clone, Debug)]
+pub struct Nic {
+    rate: Bandwidth,
+    free_at: SimTime,
+    max_backlog: SimDuration,
+}
+
+/// Result of offering a message to a NIC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NicOutcome {
+    /// Accepted; transmission completes at the given time.
+    Done(SimTime),
+    /// Rejected: the queue already holds more than the backlog bound.
+    Overflow,
+}
+
+impl Nic {
+    /// Creates a NIC with the given service rate and backlog bound.
+    pub fn new(rate: Bandwidth, max_backlog: SimDuration) -> Self {
+        assert!(rate > 0.0, "NIC rate must be positive");
+        Nic {
+            rate,
+            free_at: SimTime::ZERO,
+            max_backlog,
+        }
+    }
+
+    /// The configured service rate (bits/s).
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// Current backlog: how long a message arriving `now` would wait
+    /// before starting transmission.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.free_at.saturating_since(now)
+    }
+
+    /// Offers a message of `bits` at time `now`.
+    pub fn offer(&mut self, now: SimTime, bits: u64) -> NicOutcome {
+        if self.backlog(now) > self.max_backlog {
+            return NicOutcome::Overflow;
+        }
+        let start = self.free_at.max(now);
+        let tx = SimDuration::from_secs_f64(bits as f64 / self.rate);
+        let done = start + tx;
+        self.free_at = done;
+        NicOutcome::Done(done)
+    }
+
+    /// Occupies the interface for `dur` starting no earlier than `now`
+    /// (cross traffic from other tenants of a shared link). Queued
+    /// foreground messages wait behind it.
+    pub fn occupy(&mut self, now: SimTime, dur: SimDuration) {
+        let start = self.free_at.max(now);
+        self.free_at = start + dur;
+    }
+
+    /// Fraction of `window` ending at `now` during which the NIC was busy.
+    /// A crude instantaneous utilization signal for monitoring.
+    pub fn utilization(&self, now: SimTime, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            return 0.0;
+        }
+        let busy = self.free_at.saturating_since(now);
+        (busy.as_secs_f64() / window.as_secs_f64()).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn idle_nic_transmits_immediately() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(1));
+        // 1 Mbit at 1 Mbps = 1 s.
+        match nic.offer(t(0), 1_000_000) {
+            NicOutcome::Done(done) => assert_eq!(done, SimTime::from_secs(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_nic_queues() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(10));
+        nic.offer(t(0), 500_000); // busy until 0.5 s
+        match nic.offer(t(0), 500_000) {
+            NicOutcome::Done(done) => assert_eq!(done, SimTime::from_secs(1)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(nic.backlog(t(0)), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(10));
+        nic.offer(t(0), 1_000_000);
+        assert_eq!(nic.backlog(t(400)), SimDuration::from_millis(600));
+        assert_eq!(nic.backlog(SimTime::from_secs(2)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overflow_when_backlog_exceeded() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_millis(100));
+        nic.offer(t(0), 1_000_000); // 1 s of backlog
+        assert_eq!(nic.offer(t(0), 1), NicOutcome::Overflow);
+        // After the backlog drains below the bound, accepted again.
+        assert!(matches!(
+            nic.offer(SimTime::from_millis(950), 1000),
+            NicOutcome::Done(_)
+        ));
+    }
+
+    #[test]
+    fn zero_size_message_is_instant() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(1));
+        match nic.offer(t(5), 0) {
+            NicOutcome::Done(done) => assert_eq!(done, t(5)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn utilization_tracks_busy_period() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(10));
+        assert_eq!(nic.utilization(t(0), SimDuration::from_secs(1)), 0.0);
+        nic.offer(t(0), 500_000);
+        let u = nic.utilization(t(0), SimDuration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9, "{u}");
+        assert_eq!(nic.utilization(t(0), SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        Nic::new(0.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn occupy_delays_subsequent_traffic() {
+        let mut nic = Nic::new(1_000_000.0, SimDuration::from_secs(10));
+        nic.occupy(t(0), SimDuration::from_millis(300));
+        match nic.offer(t(0), 100_000) {
+            NicOutcome::Done(done) => assert_eq!(done, t(400)),
+            other => panic!("{other:?}"),
+        }
+        // Occupying an already-busy NIC extends the busy period.
+        nic.occupy(t(0), SimDuration::from_millis(100));
+        assert_eq!(nic.backlog(t(0)), SimDuration::from_millis(500));
+    }
+}

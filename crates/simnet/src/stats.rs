@@ -1,0 +1,59 @@
+//! Per-node traffic counters, consumed by RASC's resource monitoring.
+
+/// Cumulative traffic counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Messages successfully received (fully through the input NIC).
+    pub msgs_in: u64,
+    /// Messages successfully sent (accepted by the output NIC).
+    pub msgs_out: u64,
+    /// Bits received.
+    pub bits_in: u64,
+    /// Bits sent.
+    pub bits_out: u64,
+    /// Messages dropped at this node's output NIC (send-side overflow).
+    pub drops_out: u64,
+    /// Messages dropped at this node's input NIC (receive-side overflow).
+    pub drops_in: u64,
+}
+
+impl NodeStats {
+    /// Total drops charged to this node.
+    pub fn drops(&self) -> u64 {
+        self.drops_in + self.drops_out
+    }
+
+    /// Drop ratio among messages this node was asked to forward or accept.
+    /// Zero when the node saw no traffic.
+    pub fn drop_ratio(&self) -> f64 {
+        let attempted = self.msgs_in + self.msgs_out + self.drops();
+        if attempted == 0 {
+            0.0
+        } else {
+            self.drops() as f64 / attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_ratio_zero_without_traffic() {
+        assert_eq!(NodeStats::default().drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn drop_ratio_counts_both_directions() {
+        let s = NodeStats {
+            msgs_in: 6,
+            msgs_out: 2,
+            drops_in: 1,
+            drops_out: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.drops(), 2);
+        assert!((s.drop_ratio() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,278 @@
+//! Topologies: node capacities and the pairwise latency matrix.
+
+use crate::{Bandwidth, NodeId};
+use desim::{SimDuration, SimRng};
+
+/// Static capacities of one node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// Input NIC bandwidth, bits/s (`b_in` in the paper).
+    pub bw_in: Bandwidth,
+    /// Output NIC bandwidth, bits/s (`b_out` in the paper).
+    pub bw_out: Bandwidth,
+}
+
+/// Immutable network shape: who can talk to whom, how fast, how far.
+///
+/// The overlay is a full mesh (any node can send to any other; Pastry picks
+/// multi-hop routes on top of it), so the latency matrix is dense.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    specs: Vec<NodeSpec>,
+    /// Row-major `n × n` one-way propagation latencies; diagonal is the
+    /// loopback latency (tiny but non-zero).
+    latency: Vec<SimDuration>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Capacities of node `v`.
+    pub fn spec(&self, v: NodeId) -> NodeSpec {
+        self.specs[v]
+    }
+
+    /// One-way propagation latency `u → v`.
+    pub fn latency(&self, u: NodeId, v: NodeId) -> SimDuration {
+        self.latency[u * self.len() + v]
+    }
+
+    /// PlanetLab-like topology: heterogeneous capacities and wide-area
+    /// latencies, deterministic in `seed`.
+    ///
+    /// * Latencies: log-normal with a ~60 ms median and a heavy tail up to
+    ///   a few hundred ms, symmetric per pair — matching published
+    ///   PlanetLab all-pairs-ping distributions in shape.
+    /// * Bandwidths: log-uniform between `bw_lo` and `bw_hi`, independent
+    ///   draws for in/out (PlanetLab slices saw strongly asymmetric and
+    ///   heterogeneous usable bandwidth).
+    pub fn planetlab_like(n: usize, bw_lo: Bandwidth, bw_hi: Bandwidth, seed: u64) -> Topology {
+        assert!(n > 0, "empty topology");
+        assert!(bw_lo > 0.0 && bw_hi >= bw_lo, "invalid bandwidth range");
+        let mut rng = SimRng::new(seed ^ 0x70706F6C_6F676921);
+        let ratio = bw_hi / bw_lo;
+        let specs: Vec<NodeSpec> = (0..n)
+            .map(|_| {
+                let draw = |rng: &mut SimRng| bw_lo * ratio.powf(rng.f64());
+                NodeSpec {
+                    bw_in: draw(&mut rng),
+                    bw_out: draw(&mut rng),
+                }
+            })
+            .collect();
+        let mut latency = vec![SimDuration::ZERO; n * n];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                // ln-normal: median 30 ms, sigma 0.5 → 10th pct ~16 ms,
+                // 90th pct ~57 ms, tail to a few hundred ms — the shape
+                // of continental PlanetLab all-pairs pings.
+                let ms = rng.log_normal((30.0f64).ln(), 0.5).clamp(5.0, 300.0);
+                let d = SimDuration::from_millis_f64(ms);
+                latency[u * n + v] = d;
+                latency[v * n + u] = d;
+            }
+            latency[u * n + u] = SimDuration::from_micros(50);
+        }
+        Topology { specs, latency }
+    }
+
+    /// Heterogeneous multi-class topology: `bands` lists `(count, bw_lo,
+    /// bw_hi)` node classes; each node draws both NIC rates log-uniformly
+    /// within its band. Latencies are wide-area draws as in
+    /// [`Topology::planetlab_like`]. Node ids are assigned band by band,
+    /// in order.
+    pub fn heterogeneous(bands: &[(usize, Bandwidth, Bandwidth)], seed: u64) -> Topology {
+        assert!(!bands.is_empty(), "empty topology");
+        let mut rng = SimRng::new(seed ^ 0x70706F6C_6F676921);
+        let mut specs = Vec::new();
+        for &(count, lo, hi) in bands {
+            assert!(lo > 0.0 && hi >= lo, "invalid band {lo}..{hi}");
+            let ratio = hi / lo;
+            for _ in 0..count {
+                let mut draw = || lo * ratio.powf(rng.f64());
+                let bw_in = draw();
+                let bw_out = draw();
+                specs.push(NodeSpec { bw_in, bw_out });
+            }
+        }
+        let n = specs.len();
+        assert!(n > 0, "empty topology");
+        let mut latency = vec![SimDuration::ZERO; n * n];
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let ms = rng.log_normal((30.0f64).ln(), 0.5).clamp(5.0, 300.0);
+                let d = SimDuration::from_millis_f64(ms);
+                latency[u * n + v] = d;
+                latency[v * n + u] = d;
+            }
+            latency[u * n + u] = SimDuration::from_micros(50);
+        }
+        Topology { specs, latency }
+    }
+
+    /// Homogeneous topology: every node identical, every pair at `lat`.
+    /// Useful for tests where heterogeneity is noise.
+    pub fn uniform(n: usize, bw: Bandwidth, lat: SimDuration) -> Topology {
+        assert!(n > 0, "empty topology");
+        let specs = vec![
+            NodeSpec {
+                bw_in: bw,
+                bw_out: bw,
+            };
+            n
+        ];
+        let mut latency = vec![lat; n * n];
+        for u in 0..n {
+            latency[u * n + u] = SimDuration::from_micros(50);
+        }
+        Topology { specs, latency }
+    }
+}
+
+/// Builder for hand-crafted topologies (tests, examples).
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    specs: Vec<NodeSpec>,
+    overrides: Vec<(NodeId, NodeId, SimDuration)>,
+    default_latency: Option<SimDuration>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder with a 50 ms default latency.
+    pub fn new() -> Self {
+        TopologyBuilder {
+            specs: Vec::new(),
+            overrides: Vec::new(),
+            default_latency: None,
+        }
+    }
+
+    /// Sets the latency used for pairs without an explicit override.
+    pub fn default_latency(mut self, lat: SimDuration) -> Self {
+        self.default_latency = Some(lat);
+        self
+    }
+
+    /// Adds a node with the given capacities; returns its id.
+    pub fn node(&mut self, bw_in: Bandwidth, bw_out: Bandwidth) -> NodeId {
+        assert!(bw_in > 0.0 && bw_out > 0.0, "bandwidth must be positive");
+        self.specs.push(NodeSpec { bw_in, bw_out });
+        self.specs.len() - 1
+    }
+
+    /// Sets the symmetric latency between `u` and `v`.
+    pub fn latency(&mut self, u: NodeId, v: NodeId, lat: SimDuration) -> &mut Self {
+        self.overrides.push((u, v, lat));
+        self
+    }
+
+    /// Finalizes the topology.
+    pub fn build(self) -> Topology {
+        let n = self.specs.len();
+        assert!(n > 0, "empty topology");
+        let default = self.default_latency.unwrap_or(SimDuration::from_millis(50));
+        let mut latency = vec![default; n * n];
+        for u in 0..n {
+            latency[u * n + u] = SimDuration::from_micros(50);
+        }
+        for (u, v, lat) in self.overrides {
+            assert!(u < n && v < n, "latency override out of range");
+            latency[u * n + v] = lat;
+            latency[v * n + u] = lat;
+        }
+        Topology {
+            specs: self.specs,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mbps;
+
+    #[test]
+    fn planetlab_is_deterministic_per_seed() {
+        let a = Topology::planetlab_like(16, mbps(1.0), mbps(10.0), 7);
+        let b = Topology::planetlab_like(16, mbps(1.0), mbps(10.0), 7);
+        let c = Topology::planetlab_like(16, mbps(1.0), mbps(10.0), 8);
+        assert_eq!(a.spec(3), b.spec(3));
+        assert_eq!(a.latency(1, 9), b.latency(1, 9));
+        assert_ne!(a.latency(1, 9), c.latency(1, 9));
+    }
+
+    #[test]
+    fn planetlab_ranges_sane() {
+        let t = Topology::planetlab_like(32, mbps(1.0), mbps(10.0), 42);
+        assert_eq!(t.len(), 32);
+        for v in 0..t.len() {
+            let s = t.spec(v);
+            assert!(s.bw_in >= mbps(1.0) && s.bw_in <= mbps(10.0));
+            assert!(s.bw_out >= mbps(1.0) && s.bw_out <= mbps(10.0));
+        }
+        for u in 0..t.len() {
+            for v in 0..t.len() {
+                let l = t.latency(u, v);
+                if u == v {
+                    assert_eq!(l, SimDuration::from_micros(50));
+                } else {
+                    assert!(l >= SimDuration::from_millis(5));
+                    assert!(l <= SimDuration::from_millis(500));
+                    assert_eq!(l, t.latency(v, u), "symmetry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_are_heterogeneous() {
+        let t = Topology::planetlab_like(16, mbps(1.0), mbps(1.0), 1);
+        let mut lats: Vec<f64> = Vec::new();
+        for u in 0..t.len() {
+            for v in (u + 1)..t.len() {
+                lats.push(t.latency(u, v).as_millis_f64());
+            }
+        }
+        let min = lats.iter().cloned().fold(f64::MAX, f64::min);
+        let max = lats.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "expected spread, got {min}..{max}");
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let t = Topology::uniform(4, mbps(2.0), SimDuration::from_millis(30));
+        for v in 0..4 {
+            assert_eq!(t.spec(v).bw_in, mbps(2.0));
+        }
+        assert_eq!(t.latency(0, 3), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        let x = b.node(mbps(1.0), mbps(2.0));
+        let y = b.node(mbps(3.0), mbps(4.0));
+        let z = b.node(mbps(5.0), mbps(6.0));
+        b.latency(x, z, SimDuration::from_millis(99));
+        let t = b.build();
+        assert_eq!(t.latency(x, y), SimDuration::from_millis(10));
+        assert_eq!(t.latency(x, z), SimDuration::from_millis(99));
+        assert_eq!(t.latency(z, x), SimDuration::from_millis(99));
+        assert_eq!(t.spec(y).bw_out, mbps(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty topology")]
+    fn empty_builder_panics() {
+        TopologyBuilder::new().build();
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the network substrate: conservation of messages,
+//! monotone NIC behaviour, and topology invariants.
+
+use desim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use simnet::{kbps, Network, NetworkConfig, Topology};
+
+fn quiet(seed: u64) -> NetworkConfig {
+    NetworkConfig {
+        latency_jitter_sigma: 0.0,
+        congestion_jitter: 0.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every send is accounted exactly once: delivered, dropped at the
+    /// sender, or dropped at the receiver — and the per-node counters
+    /// agree with the outcome tally.
+    #[test]
+    fn message_accounting_balances(
+        n in 2usize..8,
+        bw in 100.0f64..2_000.0,
+        sends in proptest::collection::vec((0u64..5_000, 0usize..8, 0usize..8, 1u64..100_000), 1..200),
+    ) {
+        let topo = Topology::uniform(n, kbps(bw), SimDuration::from_millis(20));
+        let mut net = Network::new(topo, quiet(1));
+        let (mut delivered, mut s_drop, mut r_drop) = (0u64, 0u64, 0u64);
+        let mut sends = sends;
+        sends.sort_by_key(|&(t, ..)| t);
+        for (t_ms, src, dst, bits) in sends {
+            let (src, dst) = (src % n, dst % n);
+            match net.send(SimTime::from_millis(t_ms), src, dst, bits) {
+                simnet::SendOutcome::Delivered(at) => {
+                    prop_assert!(at >= SimTime::from_millis(t_ms), "delivery in the past");
+                    delivered += 1;
+                }
+                simnet::SendOutcome::Dropped(simnet::DropReason::SenderOverflow) => s_drop += 1,
+                simnet::SendOutcome::Dropped(simnet::DropReason::ReceiverOverflow) => r_drop += 1,
+            }
+        }
+        let total_in: u64 = (0..n).map(|v| net.stats(v).msgs_in).sum();
+        let total_out: u64 = (0..n).map(|v| net.stats(v).msgs_out).sum();
+        let drops_out: u64 = (0..n).map(|v| net.stats(v).drops_out).sum();
+        let drops_in: u64 = (0..n).map(|v| net.stats(v).drops_in).sum();
+        prop_assert_eq!(total_in, delivered);
+        prop_assert_eq!(total_out, delivered + r_drop);
+        prop_assert_eq!(drops_out, s_drop);
+        prop_assert_eq!(drops_in, r_drop);
+    }
+
+    /// Back-to-back messages between one pair arrive in FIFO order
+    /// (without jitter, the pipe preserves ordering).
+    #[test]
+    fn single_path_is_fifo_without_jitter(
+        bw in 200.0f64..2_000.0,
+        sizes in proptest::collection::vec(1u64..50_000, 2..50),
+    ) {
+        let topo = Topology::uniform(2, kbps(bw), SimDuration::from_millis(15));
+        let mut net = Network::new(topo, NetworkConfig {
+            max_nic_backlog: SimDuration::from_secs(3600),
+            ..quiet(2)
+        });
+        let mut last = SimTime::ZERO;
+        for bits in sizes {
+            match net.send(SimTime::ZERO, 0, 1, bits) {
+                simnet::SendOutcome::Delivered(at) => {
+                    prop_assert!(at >= last, "reordered without jitter");
+                    last = at;
+                }
+                other => prop_assert!(false, "unbounded queue dropped: {:?}", other),
+            }
+        }
+    }
+
+    /// Delivery time decomposes into tx + latency + rx for an idle pair,
+    /// and grows monotonically with message size.
+    #[test]
+    fn delivery_time_decomposition(
+        bw in 100.0f64..5_000.0,
+        lat_ms in 1u64..200,
+        bits in 1u64..500_000,
+    ) {
+        let topo = Topology::uniform(2, kbps(bw), SimDuration::from_millis(lat_ms));
+        let mut net = Network::new(topo, NetworkConfig {
+            max_nic_backlog: SimDuration::from_secs(3600),
+            ..quiet(3)
+        });
+        match net.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(at) => {
+                let tx = bits as f64 / kbps(bw);
+                let expect = 2.0 * tx + lat_ms as f64 / 1_000.0;
+                prop_assert!((at.as_secs_f64() - expect).abs() < 1e-6,
+                    "got {} expected {}", at.as_secs_f64(), expect);
+            }
+            other => prop_assert!(false, "{:?}", other),
+        }
+    }
+
+    /// Heterogeneous topologies keep every band's nodes inside their
+    /// declared bandwidth range and latencies symmetric.
+    #[test]
+    fn heterogeneous_bands_hold(seed in any::<u64>(), a in 1usize..6, b in 1usize..6) {
+        let topo = Topology::heterogeneous(
+            &[(a, kbps(100.0), kbps(200.0)), (b, kbps(1_000.0), kbps(4_000.0))],
+            seed,
+        );
+        prop_assert_eq!(topo.len(), a + b);
+        for v in 0..a {
+            let s = topo.spec(v);
+            prop_assert!(s.bw_in >= kbps(100.0) && s.bw_in <= kbps(200.0));
+            prop_assert!(s.bw_out >= kbps(100.0) && s.bw_out <= kbps(200.0));
+        }
+        for v in a..a + b {
+            let s = topo.spec(v);
+            prop_assert!(s.bw_in >= kbps(1_000.0) && s.bw_in <= kbps(4_000.0));
+        }
+        for u in 0..topo.len() {
+            for v in 0..topo.len() {
+                prop_assert_eq!(topo.latency(u, v), topo.latency(v, u));
+            }
+        }
+    }
+
+    /// Cross-traffic occupancy delays but never reorders or corrupts
+    /// the accounting.
+    #[test]
+    fn occupancy_only_delays(
+        occupy_ms in 1u64..2_000,
+        bits in 1u64..50_000,
+    ) {
+        let topo = Topology::uniform(2, kbps(1_000.0), SimDuration::from_millis(10));
+        let mk = || Network::new(topo.clone(), NetworkConfig {
+            max_nic_backlog: SimDuration::from_secs(3600),
+            ..quiet(4)
+        });
+        let mut idle = mk();
+        let mut busy = mk();
+        busy.occupy(SimTime::ZERO, 0, SimDuration::from_millis(occupy_ms), SimDuration::from_millis(occupy_ms));
+        let t_idle = match idle.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(t) => t,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let t_busy = match busy.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(t) => t,
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        };
+        let delta = t_busy.saturating_since(t_idle);
+        prop_assert_eq!(delta, SimDuration::from_millis(occupy_ms));
+    }
+}

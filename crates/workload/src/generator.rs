@@ -1,0 +1,153 @@
+//! Random service-request generation (§4.1).
+
+use desim::SimRng;
+use rasc_core::model::{ServiceRequest, DEFAULT_UNIT_BITS};
+
+/// Draws service requests with the paper's distributions.
+#[derive(Clone, Debug)]
+pub struct RequestGenerator {
+    rng: SimRng,
+    num_services: usize,
+    num_nodes: usize,
+    /// Nodes eligible as stream endpoints. Defaults to every node; the
+    /// paper-scale scenario restricts endpoints to adequately provisioned
+    /// nodes (a user attaches their media source/sink from a machine that
+    /// can at least sustain its own stream).
+    endpoints: Vec<usize>,
+    /// Average per-request rate in kilobits/second (the x-axis of every
+    /// figure). Individual requests draw uniformly in ±25% of this.
+    pub avg_rate_kbps: f64,
+    /// Minimum/maximum number of services per request (paper: 2–5).
+    pub services_per_request: (usize, usize),
+}
+
+impl RequestGenerator {
+    /// Creates a generator over `num_services` services and `num_nodes`
+    /// nodes with the paper's defaults.
+    pub fn new(num_services: usize, num_nodes: usize, avg_rate_kbps: f64, seed: u64) -> Self {
+        assert!(num_services >= 1 && num_nodes >= 2);
+        assert!(avg_rate_kbps > 0.0);
+        RequestGenerator {
+            rng: SimRng::new(seed ^ 0x5245515F47454E31),
+            num_services,
+            num_nodes,
+            endpoints: (0..num_nodes).collect(),
+            avg_rate_kbps,
+            services_per_request: (2, 5),
+        }
+    }
+
+    /// Restricts endpoint (source/destination) choice to the given nodes.
+    pub fn with_endpoints(mut self, endpoints: Vec<usize>) -> Self {
+        assert!(endpoints.len() >= 2, "need at least two endpoint nodes");
+        assert!(endpoints.iter().all(|&v| v < self.num_nodes));
+        self.endpoints = endpoints;
+        self
+    }
+
+    /// Draws the next request: 2–5 distinct services split into one or
+    /// two substreams (mirroring the paper's Figure 2 shape), a rate in
+    /// ±25% of the average, and distinct random endpoints.
+    pub fn next_request(&mut self) -> ServiceRequest {
+        let (lo, hi) = self.services_per_request;
+        let hi = hi.min(self.num_services);
+        let lo = lo.min(hi);
+        let count = self.rng.range_usize(lo, hi + 1);
+        let services = self.rng.sample_indices(self.num_services, count);
+
+        // One substream, or two when there are enough services (the
+        // paper's example request graph has two).
+        let two = count >= 3 && self.rng.chance(0.5);
+        let substreams: Vec<Vec<usize>> = if two {
+            let cut = self.rng.range_usize(1, count);
+            vec![services[..cut].to_vec(), services[cut..].to_vec()]
+        } else {
+            vec![services]
+        };
+
+        let kbps = self.avg_rate_kbps * self.rng.range_f64(0.75, 1.25);
+        let rate_du = kbps * 1_000.0 / DEFAULT_UNIT_BITS as f64;
+        // Substreams share the request's rate requirement.
+        let rates = vec![rate_du; substreams.len()];
+
+        let source = *self.rng.choose(&self.endpoints);
+        let destination = loop {
+            let d = *self.rng.choose(&self.endpoints);
+            if d != source {
+                break d;
+            }
+        };
+        ServiceRequest::multi(substreams, rates, source, destination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_paper_distributions() {
+        let mut g = RequestGenerator::new(10, 32, 100.0, 7);
+        for _ in 0..200 {
+            let r = g.next_request();
+            let total: usize = r.graph.substreams.iter().map(|s| s.services.len()).sum();
+            assert!((2..=5).contains(&total), "{total} services");
+            assert!(r.graph.substreams.len() <= 2);
+            assert_ne!(r.source, r.destination);
+            assert!(r.source < 32 && r.destination < 32);
+            for &rate in &r.rates {
+                let kbps = rate * DEFAULT_UNIT_BITS as f64 / 1000.0;
+                assert!((74.9..=125.1).contains(&kbps), "{kbps} kbps");
+            }
+            // Services within a request are distinct.
+            let mut all: Vec<usize> = r
+                .graph
+                .substreams
+                .iter()
+                .flat_map(|s| s.services.iter().copied())
+                .collect();
+            all.sort_unstable();
+            let before = all.len();
+            all.dedup();
+            assert_eq!(all.len(), before, "duplicate services in request");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RequestGenerator::new(10, 32, 150.0, 3);
+        let mut b = RequestGenerator::new(10, 32, 150.0, 3);
+        for _ in 0..20 {
+            let (x, y) = (a.next_request(), b.next_request());
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.destination, y.destination);
+            assert_eq!(x.rates, y.rates);
+            assert_eq!(x.graph, y.graph);
+        }
+    }
+
+    #[test]
+    fn both_substream_shapes_occur() {
+        let mut g = RequestGenerator::new(10, 32, 100.0, 11);
+        let mut ones = 0;
+        let mut twos = 0;
+        for _ in 0..100 {
+            match g.next_request().graph.substreams.len() {
+                1 => ones += 1,
+                2 => twos += 1,
+                n => panic!("unexpected substream count {n}"),
+            }
+        }
+        assert!(ones > 10 && twos > 10, "ones={ones} twos={twos}");
+    }
+
+    #[test]
+    fn small_catalogs_clamp_service_count() {
+        let mut g = RequestGenerator::new(2, 8, 100.0, 5);
+        for _ in 0..50 {
+            let r = g.next_request();
+            let total: usize = r.graph.substreams.iter().map(|s| s.services.len()).sum();
+            assert!(total <= 2);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload generation and experiment drivers for the RASC evaluation.
+//!
+//! The paper's setup (§4.1): 32 PlanetLab nodes, 10 unique services, 5
+//! services hosted per node (mean replication 16), service requests of
+//! 2–5 services chosen randomly, request rates from 50 to 200 Kb/s, each
+//! data point averaged over 5 runs. [`PaperSetup`] packages exactly that;
+//! [`RequestGenerator`] draws the requests; [`run_experiment`] executes
+//! one full simulation and returns the [`RunReport`] every figure reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod scenario;
+
+pub use generator::RequestGenerator;
+pub use scenario::{run_experiment, run_experiment_with, ArrivalProcess, ExperimentOutcome, PaperSetup};

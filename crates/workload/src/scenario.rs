@@ -1,0 +1,365 @@
+//! The paper's experimental scenario (§4.1) as an executable config.
+
+use crate::generator::RequestGenerator;
+use desim::{SimDuration, SimRng, SimTime};
+use rasc_core::compose::ComposerKind;
+use rasc_core::engine::{BackgroundTraffic, Engine, EngineConfig};
+use rasc_core::metrics::RunReport;
+use rasc_core::model::ServiceCatalog;
+use simnet::{kbps, Topology};
+
+/// The §4.1 experimental setup, with the PlanetLab testbed replaced by
+/// the simulated wide-area network (see DESIGN.md for the substitution
+/// rationale).
+///
+/// Node population (three classes, ids assigned in this order):
+///
+/// * **strong** processing nodes — well-provisioned hosts that can carry
+///   several full-rate components each,
+/// * **weak** processing nodes — hosts whose usable bandwidth sits near
+///   or below a single 150–200 Kb/s stream. They are the population that
+///   makes rate splitting matter: random/greedy placement cannot use a
+///   node that cannot carry a *whole* stream, while RASC aggregates
+///   their capacity ("random and greedy depend on the capacity of the
+///   most powerful nodes; minimum cost composition depends on the
+///   cumulative capacity of the nodes", §4.2). PlanetLab circa 2007 had
+///   exactly this skew: a few well-connected GREN hosts and a long tail
+///   of heavily contended ones.
+/// * **edge** nodes — the stream endpoints (user machines). They host no
+///   services; they originate and terminate streams.
+#[derive(Clone, Debug)]
+pub struct PaperSetup {
+    /// Number of unique services (paper: 10).
+    pub services: usize,
+    /// Services hosted per processing node (paper: 5 ⇒ replication 16).
+    pub services_per_node: usize,
+    /// Number of requests submitted over the submission window.
+    pub requests: usize,
+    /// Average request rate in Kb/s (the x-axis: 50–200).
+    pub avg_rate_kbps: f64,
+    /// Requests arrive uniformly over this many simulated seconds.
+    pub submit_window_secs: f64,
+    /// Measurement continues this long after the last submission.
+    pub measure_secs: f64,
+    /// Strong processing nodes: `(count, bw_lo_kbps, bw_hi_kbps)`.
+    pub strong_nodes: (usize, f64, f64),
+    /// Weak processing nodes: `(count, bw_lo_kbps, bw_hi_kbps)`.
+    pub weak_nodes: (usize, f64, f64),
+    /// Edge (endpoint) nodes: `(count, bw_kbps)`.
+    pub edge_nodes: (usize, f64),
+    /// Fraction of processing nodes carrying bursty cross traffic (the
+    /// varying "state of the PlanetLab nodes" the paper averaged over).
+    pub flaky_fraction: f64,
+    /// Request arrival process over the submission window.
+    pub arrivals: ArrivalProcess,
+    /// Master seed (vary for the 5-run averaging).
+    pub seed: u64,
+}
+
+impl Default for PaperSetup {
+    fn default() -> Self {
+        PaperSetup {
+            services: 10,
+            services_per_node: 5,
+            requests: 20,
+            avg_rate_kbps: 100.0,
+            submit_window_secs: 40.0,
+            measure_secs: 120.0,
+            strong_nodes: (6, 800.0, 1_600.0),
+            weak_nodes: (26, 250.0, 400.0),
+            edge_nodes: (16, 2_500.0),
+            flaky_fraction: 0.4,
+            arrivals: ArrivalProcess::Uniform,
+            seed: 1,
+        }
+    }
+}
+
+/// How request submission times are drawn across the window.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum ArrivalProcess {
+    /// Independent uniform draws over the window (the default; roughly
+    /// what an open system with a fixed request budget looks like).
+    #[default]
+    Uniform,
+    /// A Poisson process whose rate is chosen so the expected count over
+    /// the window equals `requests`; the draw is truncated/padded to
+    /// exactly `requests` arrivals so runs stay comparable.
+    Poisson,
+}
+
+impl PaperSetup {
+    /// Number of processing (service-hosting) nodes — 32 in the paper.
+    pub fn processing_nodes(&self) -> usize {
+        self.strong_nodes.0 + self.weak_nodes.0
+    }
+
+    /// Total overlay size including edge nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.processing_nodes() + self.edge_nodes.0
+    }
+
+    /// A scaled-down variant for fast tests (8 processing nodes, short
+    /// horizon).
+    pub fn small(seed: u64) -> Self {
+        PaperSetup {
+            services: 4,
+            services_per_node: 3,
+            requests: 10,
+            submit_window_secs: 5.0,
+            measure_secs: 20.0,
+            strong_nodes: (4, 500.0, 1_000.0),
+            weak_nodes: (4, 200.0, 400.0),
+            edge_nodes: (4, 2_000.0),
+            flaky_fraction: 0.25,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the three-class topology.
+    pub fn topology(&self) -> Topology {
+        Topology::heterogeneous(
+            &[
+                (
+                    self.strong_nodes.0,
+                    kbps(self.strong_nodes.1),
+                    kbps(self.strong_nodes.2),
+                ),
+                (
+                    self.weak_nodes.0,
+                    kbps(self.weak_nodes.1),
+                    kbps(self.weak_nodes.2),
+                ),
+                (
+                    self.edge_nodes.0,
+                    kbps(self.edge_nodes.1),
+                    kbps(self.edge_nodes.1),
+                ),
+            ],
+            self.seed,
+        )
+    }
+
+    /// Service assignment: `services_per_node` random services on each
+    /// processing node (with a coverage fix so no service is orphaned),
+    /// nothing on edge nodes.
+    pub fn offers(&self) -> Vec<Vec<usize>> {
+        let mut rng = SimRng::new(self.seed ^ 0x504C4143_454D4E54);
+        let per_node = self.services_per_node.min(self.services);
+        let mut offers: Vec<Vec<usize>> = (0..self.processing_nodes())
+            .map(|_| {
+                let mut picks = rng.sample_indices(self.services, per_node);
+                picks.sort_unstable();
+                picks
+            })
+            .collect();
+        for s in 0..self.services {
+            if !offers.iter().any(|o| o.contains(&s)) {
+                let v = s % offers.len();
+                offers[v].push(s);
+                offers[v].sort_unstable();
+            }
+        }
+        offers.extend((0..self.edge_nodes.0).map(|_| Vec::new()));
+        offers
+    }
+
+    /// The endpoint node ids (the edge class).
+    pub fn endpoint_ids(&self) -> Vec<usize> {
+        (self.processing_nodes()..self.total_nodes()).collect()
+    }
+
+    /// The processing nodes designated as flaky (bursty cross traffic),
+    /// deterministic in the seed.
+    pub fn flaky_nodes(&self) -> Vec<usize> {
+        let n = self.processing_nodes();
+        let k = ((n as f64) * self.flaky_fraction).round() as usize;
+        let mut rng = SimRng::new(self.seed ^ 0x464C414B_595F5F21);
+        let mut picks = rng.sample_indices(n, k.min(n));
+        picks.sort_unstable();
+        picks
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// Aggregated run metrics (the inputs to every figure).
+    pub report: RunReport,
+    /// The composer that produced it.
+    pub composer: ComposerKind,
+    /// The average request rate the workload targeted.
+    pub avg_rate_kbps: f64,
+    /// The seed used.
+    pub seed: u64,
+}
+
+/// Runs one full simulation of the paper's scenario with the given
+/// composition algorithm and engine overrides.
+pub fn run_experiment(setup: &PaperSetup, composer: ComposerKind) -> ExperimentOutcome {
+    run_experiment_with(setup, composer, EngineConfig::default())
+}
+
+/// Variant of [`run_experiment`] with full control over the engine
+/// configuration (used by the scheduler/solver ablations).
+pub fn run_experiment_with(
+    setup: &PaperSetup,
+    composer: ComposerKind,
+    mut config: EngineConfig,
+) -> ExperimentOutcome {
+    config.composer = composer;
+    config.services_per_node = setup.services_per_node;
+    if config.background.is_none() {
+        let flaky = setup.flaky_nodes();
+        if !flaky.is_empty() {
+            config.background = Some(BackgroundTraffic::flaky(flaky));
+        }
+    }
+
+    let catalog = ServiceCatalog::synthetic(setup.services, setup.seed);
+    let mut engine = Engine::builder(setup.total_nodes(), catalog, setup.seed)
+        .topology(setup.topology())
+        .offers(setup.offers())
+        .config(config)
+        .build();
+
+    let mut gen = RequestGenerator::new(
+        setup.services,
+        setup.total_nodes(),
+        setup.avg_rate_kbps,
+        setup.seed,
+    )
+    .with_endpoints(setup.endpoint_ids());
+
+    // Arrival times over the submission window, deterministic in seed.
+    let mut arrival_rng = SimRng::new(setup.seed ^ 0x414C4C4F_43415445);
+    let mut arrivals: Vec<SimTime> = match setup.arrivals {
+        ArrivalProcess::Uniform => (0..setup.requests)
+            .map(|_| SimTime::from_secs_f64(arrival_rng.f64() * setup.submit_window_secs))
+            .collect(),
+        ArrivalProcess::Poisson => {
+            // Exponential gaps at rate requests/window; truncate or pad
+            // (with uniform draws) to exactly `requests` arrivals.
+            let rate = setup.requests as f64 / setup.submit_window_secs.max(1e-9);
+            let mut out = Vec::with_capacity(setup.requests);
+            let mut t = 0.0;
+            while out.len() < setup.requests {
+                t += arrival_rng.exp(rate);
+                if t >= setup.submit_window_secs {
+                    break;
+                }
+                out.push(SimTime::from_secs_f64(t));
+            }
+            while out.len() < setup.requests {
+                out.push(SimTime::from_secs_f64(
+                    arrival_rng.f64() * setup.submit_window_secs,
+                ));
+            }
+            out
+        }
+    };
+    arrivals.sort_unstable();
+    for at in arrivals {
+        engine.submit_at(at, gen.next_request());
+    }
+    let horizon =
+        SimTime::ZERO + SimDuration::from_secs_f64(setup.submit_window_secs + setup.measure_secs);
+    engine.run_until(horizon);
+
+    ExperimentOutcome {
+        report: engine.report(),
+        composer,
+        avg_rate_kbps: setup.avg_rate_kbps,
+        seed: setup.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_setup_runs_and_delivers() {
+        let setup = PaperSetup::small(42);
+        let out = run_experiment(&setup, ComposerKind::MinCost);
+        let r = &out.report;
+        assert!(r.composed + r.rejected == setup.requests as u64);
+        assert!(r.composed > 0, "nothing composed");
+        assert!(r.generated > 0, "no units generated");
+        assert!(r.delivered > 0, "no units delivered");
+        assert!(r.delivered <= r.generated);
+        assert!(r.delay_ms.mean() > 0.0, "zero delay is impossible");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let setup = PaperSetup::small(7);
+        let a = run_experiment(&setup, ComposerKind::MinCost).report;
+        let b = run_experiment(&setup, ComposerKind::MinCost).report;
+        assert_eq!(a.composed, b.composed);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.timely, b.timely);
+        assert_eq!(a.total_drops(), b.total_drops());
+        assert!((a.delay_ms.mean() - b.delay_ms.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_composers_run_the_same_workload() {
+        let setup = PaperSetup::small(3);
+        for kind in ComposerKind::ALL {
+            let out = run_experiment(&setup, kind);
+            assert_eq!(
+                out.report.composed + out.report.rejected,
+                setup.requests as u64,
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn offers_cover_all_services_and_spare_edges() {
+        let setup = PaperSetup::default();
+        let offers = setup.offers();
+        assert_eq!(offers.len(), setup.total_nodes());
+        for s in 0..setup.services {
+            assert!(
+                offers[..setup.processing_nodes()]
+                    .iter()
+                    .any(|o| o.contains(&s)),
+                "service {s} unprovided"
+            );
+        }
+        for o in &offers[setup.processing_nodes()..] {
+            assert!(o.is_empty(), "edge node hosts services");
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_run_and_differ_from_uniform() {
+        let uniform = PaperSetup::small(9);
+        let poisson = PaperSetup {
+            arrivals: ArrivalProcess::Poisson,
+            ..PaperSetup::small(9)
+        };
+        let a = run_experiment(&uniform, ComposerKind::MinCost).report;
+        let b = run_experiment(&poisson, ComposerKind::MinCost).report;
+        assert_eq!(a.composed + a.rejected, b.composed + b.rejected);
+        assert!(b.delivered > 0);
+        // Same workload, different arrival schedule: some metric differs.
+        assert!(
+            a.generated != b.generated
+                || (a.delay_ms.mean() - b.delay_ms.mean()).abs() > 1e-9,
+            "arrival process had no effect"
+        );
+    }
+
+    #[test]
+    fn endpoints_are_edge_nodes() {
+        let setup = PaperSetup::default();
+        let ids = setup.endpoint_ids();
+        assert_eq!(ids.len(), setup.edge_nodes.0);
+        assert!(ids.iter().all(|&v| v >= setup.processing_nodes()));
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: composed execution graphs are *valid* — services land
+//! only on nodes that offer them, rates satisfy the request, and the
+//! engine's runtime actually delivers along the composed paths.
+
+use rasc::core::compose::ComposerKind;
+use rasc::core::engine::Engine;
+use rasc::core::model::{ServiceCatalog, ServiceRequest};
+use rasc::net::{kbps, TopologyBuilder};
+use rasc::sim::SimDuration;
+
+fn engine_with(kind: ComposerKind, seed: u64) -> Engine {
+    let catalog = ServiceCatalog::synthetic(5, seed);
+    let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(20));
+    for _ in 0..10 {
+        b.node(kbps(2_000.0), kbps(2_000.0));
+    }
+    Engine::builder(10, catalog, seed)
+        .topology(b.build())
+        .offers(vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 0],
+            vec![0, 2],
+            vec![1, 3],
+            vec![2, 4],
+            vec![],
+            vec![],
+        ])
+        .composer(kind)
+        .build()
+}
+
+#[test]
+fn placements_respect_the_service_directory() {
+    for kind in ComposerKind::ALL {
+        let mut engine = engine_with(kind, 17);
+        let app = engine
+            .submit(ServiceRequest::chain(&[0, 2, 4], 15.0, 8, 9))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let graph = engine.app_graph(app).clone();
+        for stages in &graph.substreams {
+            for stage in stages {
+                for p in &stage.placements {
+                    assert!(
+                        engine.directory().hosts(p.node, stage.service),
+                        "{kind:?} placed service {} on node {} which does not offer it",
+                        stage.service,
+                        p.node
+                    );
+                    assert!(p.rate > 0.0, "zero-rate placement");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn stage_rates_sum_to_the_requirement() {
+    for kind in ComposerKind::ALL {
+        let mut engine = engine_with(kind, 23);
+        let app = engine
+            .submit(ServiceRequest::chain(&[1, 3], 22.5, 8, 9))
+            .unwrap();
+        let graph = engine.app_graph(app);
+        for stages in &graph.substreams {
+            for stage in stages {
+                let total = stage.total_rate();
+                assert!(
+                    (total - 22.5).abs() < 1e-3,
+                    "{kind:?}: stage rate {total} != 22.5"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_substream_requests_map_every_substream() {
+    let mut engine = engine_with(ComposerKind::MinCost, 29);
+    let req = ServiceRequest::multi(vec![vec![0, 1], vec![2], vec![3, 4]],
+        vec![10.0, 5.0, 8.0], 8, 9);
+    let app = engine.submit(req).unwrap();
+    let graph = engine.app_graph(app).clone();
+    assert_eq!(graph.substreams.len(), 3);
+    assert_eq!(graph.substreams[0].len(), 2);
+    assert_eq!(graph.substreams[1].len(), 1);
+    assert_eq!(graph.substreams[2].len(), 2);
+    // All three substreams deliver.
+    engine.run_for_secs(15.0);
+    for l in 0..3 {
+        let (delivered, _, _) = engine.app_delivery_stats(app)[l];
+        assert!(delivered > 0, "substream {l} delivered nothing");
+    }
+}
+
+#[test]
+fn unknown_service_and_no_provider_are_rejected_cleanly() {
+    use rasc::core::compose::ComposeError;
+    let mut engine = engine_with(ComposerKind::MinCost, 31);
+    // Service 9 does not exist in the 5-service catalog.
+    let err = engine
+        .submit(ServiceRequest::chain(&[9], 5.0, 8, 9))
+        .unwrap_err();
+    assert!(matches!(err, ComposeError::UnknownService(_)));
+    let report = engine.report();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.composed, 0);
+}
+
+#[test]
+fn rejected_requests_leave_no_runtime_residue() {
+    let mut engine = engine_with(ComposerKind::Greedy, 37);
+    // Far beyond any node's capacity.
+    let _ = engine
+        .submit(ServiceRequest::chain(&[0, 1], 10_000.0, 8, 9))
+        .unwrap_err();
+    engine.run_for_secs(5.0);
+    let report = engine.report();
+    assert_eq!(report.generated, 0, "rejected app must not emit units");
+    assert_eq!(engine.app_count(), 0);
+}
+
+#[test]
+fn discovery_agrees_with_directory_ground_truth() {
+    let engine = engine_with(ComposerKind::MinCost, 41);
+    for service in 0..5 {
+        let providers = engine.directory().providers(service);
+        assert!(!providers.is_empty(), "service {service} unprovided");
+        for &p in &providers {
+            assert!(engine.directory().hosts(p, service));
+        }
+    }
+}

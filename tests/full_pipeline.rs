@@ -1,0 +1,137 @@
+//! End-to-end integration: the full stack (overlay discovery →
+//! composition → runtime → metrics) on the paper's scenario, across all
+//! three composition algorithms.
+
+use rasc::core::compose::ComposerKind;
+use rasc::workloads::{run_experiment, PaperSetup};
+
+/// Basic accounting invariants every run must satisfy, regardless of
+/// algorithm, seed, or rate.
+fn check_invariants(report: &rasc::core::metrics::RunReport, requests: u64) {
+    assert_eq!(
+        report.composed + report.rejected,
+        requests,
+        "every request is either composed or rejected"
+    );
+    assert!(report.delivered <= report.generated, "delivery conservation");
+    assert!(
+        report.timely <= report.delivered,
+        "timely units are delivered units"
+    );
+    assert!(
+        report.out_of_order <= report.delivered,
+        "out-of-order units are delivered units"
+    );
+    assert!(
+        report.delivered + report.total_drops() <= report.generated,
+        "units are delivered, dropped, or still in flight — never both"
+    );
+    for frac in [
+        report.delivered_fraction(),
+        report.timely_fraction(),
+        report.out_of_order_fraction(),
+    ] {
+        assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+    }
+    if report.composed > 0 {
+        assert!(report.generated > 0, "composed apps must generate units");
+        assert!(report.components as usize >= report.composed as usize,
+            "each composed app has at least one component per service");
+    }
+}
+
+#[test]
+fn all_algorithms_satisfy_invariants_across_rates() {
+    for kind in ComposerKind::ALL {
+        for rate in [50.0, 200.0] {
+            let setup = PaperSetup {
+                avg_rate_kbps: rate,
+                requests: 8,
+                submit_window_secs: 8.0,
+                measure_secs: 30.0,
+                seed: 5,
+                ..PaperSetup::default()
+            };
+            let out = run_experiment(&setup, kind);
+            check_invariants(&out.report, 8);
+            assert!(
+                out.report.delivered > 0,
+                "{kind:?} at {rate} delivered nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_runs_are_deterministic_per_seed() {
+    for kind in ComposerKind::ALL {
+        let setup = PaperSetup::small(31);
+        let a = run_experiment(&setup, kind).report;
+        let b = run_experiment(&setup, kind).report;
+        assert_eq!(a.composed, b.composed, "{kind:?}");
+        assert_eq!(a.generated, b.generated, "{kind:?}");
+        assert_eq!(a.delivered, b.delivered, "{kind:?}");
+        assert_eq!(a.timely, b.timely, "{kind:?}");
+        assert_eq!(a.out_of_order, b.out_of_order, "{kind:?}");
+        assert_eq!(a.drops, b.drops, "{kind:?}");
+        assert_eq!(a.components, b.components, "{kind:?}");
+        assert!((a.delay_ms.mean() - b.delay_ms.mean()).abs() < 1e-12);
+        assert!((a.jitter_ms.mean() - b.jitter_ms.mean()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let a = run_experiment(&PaperSetup::small(1), ComposerKind::MinCost).report;
+    let b = run_experiment(&PaperSetup::small(2), ComposerKind::MinCost).report;
+    // Astronomically unlikely to coincide on all of these.
+    assert!(
+        a.generated != b.generated
+            || a.delivered != b.delivered
+            || (a.delay_ms.mean() - b.delay_ms.mean()).abs() > 1e-9,
+        "two seeds produced identical runs"
+    );
+}
+
+#[test]
+fn mincost_admits_at_least_as_many_requests_under_pressure() {
+    // At 200 Kb/s the weak nodes cannot carry whole streams: splitting
+    // is the only way to use them, so min-cost composition must admit
+    // at least as many requests as single-placement baselines.
+    let mut mincost_total = 0u64;
+    let mut random_total = 0u64;
+    let mut greedy_total = 0u64;
+    for seed in [1, 2, 3] {
+        let setup = PaperSetup {
+            avg_rate_kbps: 200.0,
+            seed,
+            ..PaperSetup::default()
+        };
+        mincost_total += run_experiment(&setup, ComposerKind::MinCost).report.composed;
+        random_total += run_experiment(&setup, ComposerKind::Random).report.composed;
+        greedy_total += run_experiment(&setup, ComposerKind::Greedy).report.composed;
+    }
+    assert!(
+        mincost_total > random_total,
+        "mincost {mincost_total} vs random {random_total}"
+    );
+    assert!(
+        mincost_total > greedy_total,
+        "mincost {mincost_total} vs greedy {greedy_total}"
+    );
+}
+
+#[test]
+fn splitting_occurs_only_for_mincost() {
+    let setup = PaperSetup {
+        avg_rate_kbps: 200.0,
+        seed: 4,
+        ..PaperSetup::default()
+    };
+    let mc = run_experiment(&setup, ComposerKind::MinCost).report;
+    let rn = run_experiment(&setup, ComposerKind::Random).report;
+    let gr = run_experiment(&setup, ComposerKind::Greedy).report;
+    assert!(mc.split_requests > 0, "expected rate splitting at 200 Kb/s");
+    assert_eq!(rn.split_requests, 0, "random must never split");
+    assert_eq!(gr.split_requests, 0, "greedy must never split");
+}
