@@ -1,11 +1,13 @@
 //! Shared machinery for the per-figure benches: each figure bench
-//! regenerates its series on a reduced sweep (printed to stdout, so
-//! `cargo bench` output contains the reproduced figure) and then times
-//! the underlying simulation for each composition algorithm.
+//! regenerates its series on a reduced sweep (printed to stdout, so the
+//! bench output contains the reproduced figure) and then times the
+//! underlying simulation for each composition algorithm on the in-repo
+//! microbench harness.
 
-use criterion::Criterion;
+use rasc_bench::microbench::{bench_config, black_box};
 use rasc_bench::{paper_sweep, render_figure, Figure, SweepConfig};
 use rasc_core::compose::ComposerKind;
+use std::time::Duration;
 use workload::{run_experiment, PaperSetup};
 
 /// A sweep small enough for bench startup but covering the full rate
@@ -26,15 +28,16 @@ pub fn reduced_sweep() -> SweepConfig {
 
 /// Prints the figure from a reduced sweep, then benchmarks the
 /// simulation that produces one cell of it, per algorithm.
-pub fn bench_figure(c: &mut Criterion, figure: Figure) {
+pub fn bench_figure(figure: Figure) {
     let cells = paper_sweep(&reduced_sweep());
     println!("\n{}", render_figure(figure, &cells));
 
-    let mut group = c.benchmark_group(format!("fig{}", figure.number()));
-    group.sample_size(10);
     for kind in ComposerKind::ALL {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
+        let m = bench_config(
+            &format!("fig{}/{}", figure.number(), kind.label()),
+            Duration::from_millis(400),
+            3,
+            || {
                 let setup = PaperSetup {
                     requests: 8,
                     submit_window_secs: 10.0,
@@ -44,9 +47,9 @@ pub fn bench_figure(c: &mut Criterion, figure: Figure) {
                     ..PaperSetup::default()
                 };
                 let out = run_experiment(&setup, kind);
-                criterion::black_box(figure.value(&out.report))
-            })
-        });
+                black_box(figure.value(&out.report));
+            },
+        );
+        println!("{}", m.line());
     }
-    group.finish();
 }

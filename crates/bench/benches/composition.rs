@@ -1,57 +1,35 @@
 //! Microbenchmarks of one composition decision per algorithm — the
-//! per-request control-plane cost of RASC vs the baselines — plus
-//! Table C's splitting ablation printed from a live run.
+//! per-request control-plane cost of RASC vs the baselines — at several
+//! system sizes, plus the steady-state reject-and-roll-back path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use desim::{SimDuration, SimRng};
-use rasc_core::compose::{ComposerKind, ProviderMap};
-use rasc_core::model::{ServiceCatalog, ServiceRequest};
-use rasc_core::view::SystemView;
-use simnet::Topology;
+use desim::SimRng;
+use rasc_bench::instances::{compose_setup, compose_setup_saturated};
+use rasc_bench::microbench::{bench, black_box};
+use rasc_core::compose::ComposerKind;
 
-fn setup(n: usize) -> (ServiceCatalog, SystemView, ProviderMap, ServiceRequest) {
-    let catalog = ServiceCatalog::synthetic(10, 1);
-    let view = SystemView::fresh(&Topology::planetlab_like(
-        n,
-        simnet::kbps(300.0),
-        simnet::kbps(3000.0),
-        1,
-    ));
-    let mut rng = SimRng::new(2);
-    let mut providers = ProviderMap::new();
-    for s in 0..10 {
-        let mut hosts = rng.sample_indices(n - 2, 16.min(n - 2));
-        hosts.sort_unstable();
-        providers.insert(s, hosts);
-    }
-    let req = ServiceRequest::chain(&[0, 3, 7], 12.0, n - 2, n - 1);
-    (catalog, view, providers, req)
-}
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compose_one_request");
-    group.sample_size(30);
+fn main() {
     for &n in &[32usize, 64, 128] {
-        let (catalog, view, providers, req) = setup(n);
         for kind in ComposerKind::ALL {
-            group.bench_function(format!("{}/{n}", kind.label()), |b| {
-                let mut composer = kind.build();
-                let mut rng = SimRng::new(9);
-                b.iter_batched(
-                    || view.clone(),
-                    |mut v| {
-                        composer
-                            .compose(&req, &catalog, &providers, &mut v, &mut rng)
-                            .expect("feasible on a fresh view")
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
+            let (catalog, view, providers, req) = compose_setup(n);
+            let mut composer = kind.build();
+            let mut rng = SimRng::new(9);
+            let m = bench(&format!("compose_one_request/{}/{n}", kind.label()), || {
+                let mut v = view.clone();
+                let g = composer
+                    .compose(&req, &catalog, &providers, &mut v, &mut rng)
+                    .expect("feasible on a fresh view");
+                black_box(g.substreams.len());
             });
+            println!("{}", m.line());
         }
+        let (catalog, mut view, providers, req) = compose_setup_saturated(n);
+        let mut composer = ComposerKind::MinCost.build();
+        let mut rng = SimRng::new(9);
+        let m = bench(&format!("compose_reject_rollback/mincost/{n}"), || {
+            let r = composer.compose(&req, &catalog, &providers, &mut view, &mut rng);
+            debug_assert!(r.is_err());
+            black_box(r.is_err());
+        });
+        println!("{}", m.line());
     }
-    group.finish();
-    let _ = SimDuration::ZERO;
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,12 +2,8 @@
 
 mod common;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rasc_bench::Figure;
 
-fn bench(c: &mut Criterion) {
-    common::bench_figure(c, Figure::Timely);
+fn main() {
+    common::bench_figure(Figure::Timely);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

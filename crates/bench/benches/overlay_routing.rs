@@ -1,17 +1,15 @@
 //! Microbenchmarks of the Pastry substrate: routing and DHT lookups at
 //! several overlay sizes (the paper's discovery step, §3.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use desim::SimRng;
 use overlay::{stable_hash128, Dht, NodeKey, Overlay};
+use rasc_bench::microbench::{bench, black_box};
 
 fn flat(_: usize, _: usize) -> f64 {
     1.0
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overlay");
-    group.sample_size(30);
+fn main() {
     for &n in &[32usize, 128, 512] {
         let overlay = Overlay::build(n, 7, &flat);
         let mut dht = Dht::new(n, 2);
@@ -21,25 +19,19 @@ fn bench(c: &mut Criterion) {
                 dht.insert(&overlay, p % n, key, (p % n) as u64);
             }
         }
-        group.bench_with_input(BenchmarkId::new("route", n), &n, |b, &n| {
-            let mut rng = SimRng::new(3);
-            b.iter(|| {
-                let key = NodeKey(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128);
-                let from = rng.range_usize(0, n);
-                criterion::black_box(overlay.route_path(from, key))
-            })
+        let mut rng = SimRng::new(3);
+        let m = bench(&format!("overlay/route/{n}"), || {
+            let key = NodeKey(((rng.next_u64() as u128) << 64) | rng.next_u64() as u128);
+            let from = rng.range_usize(0, n);
+            black_box(overlay.route_path(from, key));
         });
-        group.bench_with_input(BenchmarkId::new("dht_lookup", n), &n, |b, &n| {
-            let mut rng = SimRng::new(4);
-            b.iter(|| {
-                let s = rng.range_u64(0, 10);
-                let key = stable_hash128(format!("service-{s}").as_bytes());
-                criterion::black_box(dht.lookup(&overlay, rng.range_usize(0, n), key))
-            })
+        println!("{}", m.line());
+        let mut rng = SimRng::new(4);
+        let m = bench(&format!("overlay/dht_lookup/{n}"), || {
+            let s = rng.range_u64(0, 10);
+            let key = stable_hash128(format!("service-{s}").as_bytes());
+            black_box(dht.lookup(&overlay, rng.range_usize(0, n), key));
         });
+        println!("{}", m.line());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,52 +1,12 @@
 //! Table A (ours): min-cost flow solver ablation on composition-shaped
-//! layered graphs — SPFA-SSP vs Dijkstra-SSP vs Goldberg cost scaling.
-//!
-//! The composition graphs RASC solves are layered DAGs: `layers` stages
-//! of `width` candidate hosts each, node-split, with capacities/costs
-//! in the ranges produced by the monitoring windows.
+//! layered graphs — SPFA-SSP vs Dijkstra-SSP vs Goldberg cost scaling
+//! vs capacity scaling (see `rasc_bench::instances::layered`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use desim::SimRng;
-use mincostflow::{min_cost_flow, Algorithm, FlowNetwork};
+use mincostflow::{min_cost_flow, Algorithm};
+use rasc_bench::instances::layered;
+use rasc_bench::microbench::{bench, black_box};
 
-/// Builds a layered composition-shaped instance. Returns (net, src, dst,
-/// feasible target).
-fn layered(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, usize, i64) {
-    let mut rng = SimRng::new(seed);
-    let mut net = FlowNetwork::new(2);
-    let (src, dst) = (0, 1);
-    let gate = net.add_node();
-    net.add_edge(src, gate, 1_000_000, 0);
-    let mut prev: Vec<usize> = vec![gate];
-    let mut min_layer_cap = i64::MAX;
-    for _ in 0..layers {
-        let mut outs = Vec::with_capacity(width);
-        let mut layer_cap = 0;
-        for _ in 0..width {
-            let v_in = net.add_node();
-            let v_out = net.add_node();
-            let cap = rng.range_u64(5_000, 40_000) as i64;
-            let cost = rng.range_u64(0, 200) as i64;
-            net.add_edge(v_in, v_out, cap, cost);
-            layer_cap += cap;
-            for &p in &prev {
-                net.add_edge(p, v_in, 1_000_000, rng.range_u64(0, 30) as i64);
-            }
-            outs.push(v_out);
-        }
-        min_layer_cap = min_layer_cap.min(layer_cap);
-        prev = outs;
-    }
-    for &p in &prev {
-        net.add_edge(p, dst, 1_000_000, 0);
-    }
-    // Demand 60% of the narrowest layer: feasible, non-trivial.
-    (net, src, dst, min_layer_cap * 6 / 10)
-}
-
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solver_ablation");
-    group.sample_size(20);
+fn main() {
     for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
         for (name, alg) in [
             ("spfa", Algorithm::SpfaSsp),
@@ -54,23 +14,14 @@ fn bench(c: &mut Criterion) {
             ("cost-scaling", Algorithm::CostScaling),
             ("capacity-scaling", Algorithm::CapacityScaling),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{layers}x{width}")),
-                &(layers, width),
-                |b, &(layers, width)| {
-                    b.iter_batched(
-                        || layered(layers, width, 42),
-                        |(mut net, src, dst, target)| {
-                            min_cost_flow(&mut net, src, dst, target, alg).unwrap()
-                        },
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            let (mut net, src, dst, target) = layered(layers, width, 42);
+            let m = bench(&format!("solver_ablation/{name}/{layers}x{width}"), || {
+                net.reset_flow();
+                let sol =
+                    min_cost_flow(&mut net, src, dst, target, alg).expect("feasible instance");
+                black_box(sol.cost);
+            });
+            println!("{}", m.line());
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

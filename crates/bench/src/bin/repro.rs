@@ -9,6 +9,7 @@
 //! repro load-matched         # quality at equal admitted load
 //! repro ablation-cpu         # multiple resource constraints (paper's future work)
 //! repro quick                # scaled-down smoke sweep
+//! repro bench                # microbenchmarks -> BENCH_compose.json
 //! ```
 
 use rasc_bench::{paper_sweep, render_figure, Figure, SweepConfig};
@@ -49,6 +50,7 @@ fn main() {
         "ablation-cpu" => ablation_cpu(),
         "ablation-sched" => ablation_sched(),
         "ablation-split" => ablation_split(),
+        "bench" => bench_suite(),
         name => match Figure::from_arg(name) {
             Some(fig) => {
                 let cells = paper_sweep(&SweepConfig::default());
@@ -57,7 +59,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown mode {name}; use all | quick | fig6..fig11 | \
-                     load-matched | ablation-cpu | ablation-sched | ablation-split"
+                     load-matched | ablation-cpu | ablation-sched | ablation-split | bench"
                 );
                 std::process::exit(2);
             }
@@ -65,16 +67,157 @@ fn main() {
     }
 }
 
+/// Microbenchmark suite: compose-path and solver-kernel timings plus
+/// serial-vs-parallel sweep wall times, written to `BENCH_compose.json`.
+///
+/// The `*_clone_baseline` entries re-add the seed implementation's
+/// per-compose whole-view `clone()` + restore around the optimized
+/// composer, so the rollback optimization stays measurable against its
+/// pre-optimization cost in every future run of this suite. (They
+/// under-count the seed, which also rebuilt a fresh flow network per
+/// substream; the reported ratio is conservative.)
+fn bench_suite() {
+    use rasc_bench::instances::{compose_setup, compose_setup_saturated, layered};
+    use rasc_bench::microbench::{bench, black_box, record_wall, render_json};
+    use std::time::Instant;
+
+    let mut results = Vec::new();
+
+    // --- Composition hot path (32-node, 10-service view) -------------
+    let n = 32;
+    {
+        // Steady-state rejection: every candidate saturated, the request
+        // bounces and the view must come back untouched.
+        let (catalog, mut view, providers, req) = compose_setup_saturated(n);
+        let mut composer = ComposerKind::MinCost.build();
+        let mut rng = desim::SimRng::new(9);
+        results.push(bench(
+            &format!("compose_reject_rollback/mincost/{n}"),
+            || {
+                let r = composer.compose(&req, &catalog, &providers, &mut view, &mut rng);
+                debug_assert!(r.is_err());
+                black_box(r.is_err());
+            },
+        ));
+        results.push(bench(
+            &format!("compose_reject_rollback_clone_baseline/mincost/{n}"),
+            || {
+                let backup = view.clone();
+                let r = composer.compose(&req, &catalog, &providers, &mut view, &mut rng);
+                debug_assert!(r.is_err());
+                view = backup;
+                black_box(r.is_err());
+            },
+        ));
+    }
+    for kind in ComposerKind::ALL {
+        // Successful compose; the per-op view clone (so capacity never
+        // drains across iterations) is included in the timing, equally
+        // for every algorithm.
+        let (catalog, view, providers, req) = compose_setup(n);
+        let mut composer = kind.build();
+        let mut rng = desim::SimRng::new(9);
+        results.push(bench(
+            &format!("compose_ok_incl_clone/{}/{n}", kind.label()),
+            || {
+                let mut v = view.clone();
+                let g = composer
+                    .compose(&req, &catalog, &providers, &mut v, &mut rng)
+                    .expect("feasible on a fresh view");
+                black_box(g.substreams.len());
+            },
+        ));
+    }
+
+    // --- Solver kernels on composition-shaped layered graphs ---------
+    for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
+        for (name, alg) in [
+            ("spfa", mincostflow::Algorithm::SpfaSsp),
+            ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
+            ("cost-scaling", mincostflow::Algorithm::CostScaling),
+            ("capacity-scaling", mincostflow::Algorithm::CapacityScaling),
+        ] {
+            let (mut net, src, dst, target) = layered(layers, width, 42);
+            results.push(bench(&format!("solver/{name}/{layers}x{width}"), || {
+                net.reset_flow();
+                let sol = mincostflow::min_cost_flow(&mut net, src, dst, target, alg)
+                    .expect("feasible instance");
+                black_box(sol.cost);
+            }));
+        }
+    }
+
+    // --- Sweep wall time: serial vs parallel --------------------------
+    let threads = desim::pool::default_threads();
+    let cfg = SweepConfig {
+        setup: PaperSetup {
+            requests: 12,
+            submit_window_secs: 20.0,
+            measure_secs: 40.0,
+            ..PaperSetup::default()
+        },
+        rates_kbps: vec![50.0, 100.0],
+        seeds: vec![1, 2, 3],
+        config: EngineConfig::default(),
+    };
+    let start = Instant::now();
+    let serial = rasc_bench::paper_sweep_threads(&cfg, 1);
+    let serial_wall = start.elapsed();
+    let start = Instant::now();
+    let parallel = rasc_bench::paper_sweep_threads(&cfg, threads);
+    let parallel_wall = start.elapsed();
+    assert_eq!(serial.len(), parallel.len(), "sweep shape must not vary");
+    results.push(record_wall("sweep_wall/serial", serial_wall));
+    results.push(record_wall(
+        &format!("sweep_wall/parallel_x{threads}"),
+        parallel_wall,
+    ));
+
+    for m in &results {
+        println!("{}", m.line());
+    }
+    let reject = results
+        .iter()
+        .find(|m| m.name.starts_with("compose_reject_rollback/"))
+        .unwrap();
+    let baseline = results
+        .iter()
+        .find(|m| {
+            m.name
+                .starts_with("compose_reject_rollback_clone_baseline/")
+        })
+        .unwrap();
+    println!(
+        "\nrollback speedup vs clone baseline: {:.2}x",
+        baseline.ns_per_op / reject.ns_per_op
+    );
+    println!(
+        "sweep speedup ({} threads): {:.2}x",
+        threads,
+        serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9)
+    );
+
+    let context = [
+        ("threads", threads.to_string()),
+        ("unit", "ns_per_op".to_string()),
+    ];
+    let json = render_json(&context, &results);
+    let path = "BENCH_compose.json";
+    std::fs::write(path, json).expect("write benchmark report");
+    println!("wrote {path}");
+}
+
 /// Headline comparisons the paper calls out in §4.2.
 fn summarize(cells: &[rasc_bench::SweepCell]) {
-    let mean_over_rates = |composer: ComposerKind, f: &dyn Fn(&rasc_core::metrics::RunReport) -> f64| {
-        let xs: Vec<f64> = cells
-            .iter()
-            .filter(|c| c.composer == composer)
-            .map(|c| c.mean(f))
-            .collect();
-        xs.iter().sum::<f64>() / xs.len() as f64
-    };
+    let mean_over_rates =
+        |composer: ComposerKind, f: &dyn Fn(&rasc_core::metrics::RunReport) -> f64| {
+            let xs: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.composer == composer)
+                .map(|c| c.mean(f))
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
     println!("Headline comparisons (averaged over the rate axis):");
     let mc_delay = mean_over_rates(ComposerKind::MinCost, &|r| r.delay_ms.mean());
     let gr_delay = mean_over_rates(ComposerKind::Greedy, &|r| r.delay_ms.mean());
@@ -99,9 +242,7 @@ fn summarize(cells: &[rasc_bench::SweepCell]) {
     println!("  composed requests: mincost {mc_c:.1} vs greedy {gr_c:.1} vs random {rn_c:.1}");
     let mc_split = mean_over_rates(ComposerKind::MinCost, &|r| r.split_requests as f64);
     println!("  mincost requests using splitting: {mc_split:.1}");
-    let p95 = |c: ComposerKind| {
-        mean_over_rates(c, &|r| r.delay_quantile_ms(0.95).unwrap_or(0.0))
-    };
+    let p95 = |c: ComposerKind| mean_over_rates(c, &|r| r.delay_quantile_ms(0.95).unwrap_or(0.0));
     println!(
         "  delay p95: mincost {:.0} ms vs greedy {:.0} ms vs random {:.0} ms",
         p95(ComposerKind::MinCost),
@@ -133,8 +274,10 @@ fn load_matched() {
                 min_admitted = min_admitted.min(r.composed);
             }
         }
-        println!("
-  rate {rate} Kb/s, matched to {min_admitted} requests:");
+        println!(
+            "
+  rate {rate} Kb/s, matched to {min_admitted} requests:"
+        );
         println!(
             "  {:<10}{:>10}{:>12}{:>12}{:>12}{:>12}",
             "algorithm", "composed", "delivered", "timely", "delay(ms)", "jitter(ms)"
@@ -207,19 +350,16 @@ fn ablation_cpu() {
                         })
                         .collect(),
                 );
-                let mut engine = rasc_core::engine::Engine::builder(
-                    setup.total_nodes(),
-                    catalog,
-                    setup.seed,
-                )
-                .topology(setup.topology())
-                .offers(setup.offers())
-                .config(EngineConfig {
-                    composer: ComposerKind::MinCost,
-                    services_per_node: setup.services_per_node,
-                    ..config
-                })
-                .build();
+                let mut engine =
+                    rasc_core::engine::Engine::builder(setup.total_nodes(), catalog, setup.seed)
+                        .topology(setup.topology())
+                        .offers(setup.offers())
+                        .config(EngineConfig {
+                            composer: ComposerKind::MinCost,
+                            services_per_node: setup.services_per_node,
+                            ..config
+                        })
+                        .build();
                 let mut gen = workload::RequestGenerator::new(
                     setup.services,
                     setup.total_nodes(),

@@ -118,11 +118,7 @@ pub fn project(figure: Figure, cells: &[SweepCell]) -> Vec<FigureSeries> {
 pub fn render_figure(figure: Figure, cells: &[SweepCell]) -> String {
     let series = project(figure, cells);
     let mut out = String::new();
-    out.push_str(&format!(
-        "Figure {}: {}\n",
-        figure.number(),
-        figure.title()
-    ));
+    out.push_str(&format!("Figure {}: {}\n", figure.number(), figure.title()));
     out.push_str(&format!("{:<22}", "rate (Kb/s)"));
     for s in &series {
         out.push_str(&format!("{:>18}", s.composer.label()));

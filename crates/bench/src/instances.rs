@@ -1,0 +1,120 @@
+//! Deterministic benchmark instances shared by `repro bench` and the
+//! standalone bench targets: composition-shaped layered flow graphs and
+//! the PlanetLab-like composition scenario.
+
+use desim::SimRng;
+use mincostflow::FlowNetwork;
+use rasc_core::compose::ProviderMap;
+use rasc_core::model::{ServiceCatalog, ServiceRequest};
+use rasc_core::view::SystemView;
+use simnet::Topology;
+
+/// Builds a layered composition-shaped min-cost-flow instance: `layers`
+/// stages of `width` node-split candidate hosts, with capacities/costs
+/// in the ranges the monitoring windows produce. Returns
+/// `(net, src, dst, feasible_target)`.
+pub fn layered(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, usize, i64) {
+    let mut rng = SimRng::new(seed);
+    let mut net = FlowNetwork::new(2);
+    let (src, dst) = (0, 1);
+    let gate = net.add_node();
+    net.add_edge(src, gate, 1_000_000, 0);
+    let mut prev: Vec<usize> = vec![gate];
+    let mut min_layer_cap = i64::MAX;
+    for _ in 0..layers {
+        let mut outs = Vec::with_capacity(width);
+        let mut layer_cap = 0;
+        for _ in 0..width {
+            let v_in = net.add_node();
+            let v_out = net.add_node();
+            let cap = rng.range_u64(5_000, 40_000) as i64;
+            let cost = rng.range_u64(0, 200) as i64;
+            net.add_edge(v_in, v_out, cap, cost);
+            layer_cap += cap;
+            for &p in &prev {
+                net.add_edge(p, v_in, 1_000_000, rng.range_u64(0, 30) as i64);
+            }
+            outs.push(v_out);
+        }
+        min_layer_cap = min_layer_cap.min(layer_cap);
+        prev = outs;
+    }
+    for &p in &prev {
+        net.add_edge(p, dst, 1_000_000, 0);
+    }
+    // Demand 60% of the narrowest layer: feasible, non-trivial.
+    (net, src, dst, min_layer_cap * 6 / 10)
+}
+
+/// The composition microbench scenario: a PlanetLab-like `n`-node view,
+/// a 10-service catalog with 16 candidate hosts per service, and a
+/// 3-stage chain request from node `n-2` to node `n-1`.
+pub fn compose_setup(n: usize) -> (ServiceCatalog, SystemView, ProviderMap, ServiceRequest) {
+    let catalog = ServiceCatalog::synthetic(10, 1);
+    let view = SystemView::fresh(&Topology::planetlab_like(
+        n,
+        simnet::kbps(300.0),
+        simnet::kbps(3000.0),
+        1,
+    ));
+    let mut rng = SimRng::new(2);
+    let mut providers = ProviderMap::new();
+    for s in 0..10 {
+        let mut hosts = rng.sample_indices(n - 2, 16.min(n - 2));
+        hosts.sort_unstable();
+        providers.insert(s, hosts);
+    }
+    let req = ServiceRequest::chain(&[0, 3, 7], 12.0, n - 2, n - 1);
+    (catalog, view, providers, req)
+}
+
+/// [`compose_setup`] with every candidate host (and the endpoints)
+/// saturated — the steady state of an overloaded system, where most
+/// requests bounce off admission control. Composing against this view
+/// always fails, exercising the reject-and-roll-back hot path.
+pub fn compose_setup_saturated(
+    n: usize,
+) -> (ServiceCatalog, SystemView, ProviderMap, ServiceRequest) {
+    let (catalog, mut view, providers, req) = compose_setup(n);
+    for v in 0..view.len() {
+        // Far beyond any NIC rate; avail clamps at zero.
+        view.consume_measured(v, 1e12, 1e12);
+    }
+    (catalog, view, providers, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SimRng;
+    use rasc_core::compose::ComposerKind;
+
+    #[test]
+    fn layered_instance_is_feasible() {
+        let (mut net, src, dst, target) = layered(3, 4, 7);
+        assert!(target > 0);
+        let sol =
+            mincostflow::min_cost_flow(&mut net, src, dst, target, Default::default()).unwrap();
+        assert_eq!(sol.flow, target);
+    }
+
+    #[test]
+    fn compose_setup_admits_and_saturated_rejects() {
+        let (catalog, mut view, providers, req) = compose_setup(32);
+        let mut rng = SimRng::new(9);
+        ComposerKind::MinCost
+            .build()
+            .compose(&req, &catalog, &providers, &mut view, &mut rng)
+            .expect("fresh view admits the request");
+
+        let (catalog, mut view, providers, req) = compose_setup_saturated(32);
+        let err = ComposerKind::MinCost
+            .build()
+            .compose(&req, &catalog, &providers, &mut view, &mut rng)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            rasc_core::compose::ComposeError::InsufficientCapacity { .. }
+        ));
+    }
+}

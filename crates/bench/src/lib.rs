@@ -1,12 +1,15 @@
 //! Experiment harness for the RASC reproduction: sweeps, aggregation,
-//! and table rendering shared by the `repro` binary and the Criterion
-//! benches.
+//! table rendering, and the in-repo microbenchmark harness shared by
+//! the `repro` binary and the bench targets.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod instances;
+pub mod microbench;
 pub mod sweep;
 
 pub use figures::{render_figure, Figure, FigureSeries};
-pub use sweep::{paper_sweep, SweepCell, SweepConfig};
+pub use microbench::{bench, bench_config, render_json, Measurement};
+pub use sweep::{paper_sweep, paper_sweep_threads, SweepCell, SweepConfig};

@@ -1,0 +1,213 @@
+//! Self-contained microbenchmark harness (no external bench framework).
+//!
+//! Timing model: per benchmark, the op is warmed up, an iteration count
+//! is calibrated so one sample runs for a fixed wall-time budget, then a
+//! handful of samples are taken and the **median** ns/op is reported
+//! (median over samples is robust to scheduler noise without needing
+//! criterion's full bootstrap machinery). Results render to a compact
+//! JSON document (`BENCH_compose.json`) so successive runs can be
+//! diffed mechanically.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One benchmark's aggregated timing.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `"compose_rollback/mincost/32"`.
+    pub name: String,
+    /// Median nanoseconds per operation across samples.
+    pub ns_per_op: f64,
+    /// Fastest sample's ns/op.
+    pub min_ns: f64,
+    /// Slowest sample's ns/op.
+    pub max_ns: f64,
+    /// Iterations per sample (calibrated).
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Measurement {
+    /// Renders a single aligned report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {:>14} ns/op   (min {:>12}, max {:>12}, {} x {} iters)",
+            self.name,
+            fmt_ns(self.ns_per_op),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns),
+            self.samples,
+            self.iters,
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// Times `op` with the default budget: ~25 ms per sample, 7 samples.
+pub fn bench<F: FnMut()>(name: &str, op: F) -> Measurement {
+    bench_config(name, Duration::from_millis(25), 7, op)
+}
+
+/// Times `op` with an explicit per-sample budget and sample count.
+pub fn bench_config<F: FnMut()>(
+    name: &str,
+    target_sample: Duration,
+    samples: usize,
+    mut op: F,
+) -> Measurement {
+    assert!(samples >= 1, "need at least one sample");
+    // Warmup + calibration: double the batch until it runs long enough
+    // to estimate the per-op cost reliably.
+    let mut iters: u64 = 1;
+    let per_op_estimate = loop {
+        let elapsed = time_batch(&mut op, iters);
+        if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 2;
+    };
+    let iters_per_sample =
+        ((target_sample.as_secs_f64() / per_op_estimate.max(1e-12)).ceil() as u64).max(1);
+
+    let mut per_sample_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let elapsed = time_batch(&mut op, iters_per_sample);
+            elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64
+        })
+        .collect();
+    per_sample_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = if samples % 2 == 1 {
+        per_sample_ns[samples / 2]
+    } else {
+        (per_sample_ns[samples / 2 - 1] + per_sample_ns[samples / 2]) / 2.0
+    };
+    Measurement {
+        name: name.to_string(),
+        ns_per_op: median,
+        min_ns: per_sample_ns[0],
+        max_ns: per_sample_ns[samples - 1],
+        iters: iters_per_sample,
+        samples,
+    }
+}
+
+/// Records a single already-measured wall time (for second-scale runs
+/// like whole sweeps, where repeated sampling is too expensive).
+pub fn record_wall(name: &str, elapsed: Duration) -> Measurement {
+    Measurement {
+        name: name.to_string(),
+        ns_per_op: elapsed.as_secs_f64() * 1e9,
+        min_ns: elapsed.as_secs_f64() * 1e9,
+        max_ns: elapsed.as_secs_f64() * 1e9,
+        iters: 1,
+        samples: 1,
+    }
+}
+
+fn time_batch<F: FnMut()>(op: &mut F, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed()
+}
+
+/// Renders the measurements (plus free-form string context) as a JSON
+/// document. All context values are emitted as JSON strings.
+pub fn render_json(context: &[(&str, String)], results: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"context\": {");
+    for (i, (k, v)) in context.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {}", json_string(k), json_string(v)));
+    }
+    out.push_str("\n  },\n  \"benchmarks\": [");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": {}, \"ns_per_op\": {:.2}, \"min_ns\": {:.2}, \
+             \"max_ns\": {:.2}, \"iters\": {}, \"samples\": {}}}",
+            json_string(&m.name),
+            m.ns_per_op,
+            m.min_ns,
+            m.max_ns,
+            m.iters,
+            m.samples
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something_positive() {
+        let mut acc = 0u64;
+        let m = bench_config("noop-ish", Duration::from_millis(1), 3, || {
+            acc = black_box(acc.wrapping_add(1));
+        });
+        assert!(m.ns_per_op > 0.0);
+        assert!(m.min_ns <= m.ns_per_op && m.ns_per_op <= m.max_ns);
+        assert_eq!(m.samples, 3);
+        assert!(m.iters >= 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = Measurement {
+            name: "a\"b".into(),
+            ns_per_op: 12.5,
+            min_ns: 10.0,
+            max_ns: 15.0,
+            iters: 100,
+            samples: 5,
+        };
+        let doc = render_json(&[("threads", "4".to_string())], &[m]);
+        assert!(doc.contains("\"a\\\"b\""));
+        assert!(doc.contains("\"ns_per_op\": 12.50"));
+        assert!(doc.contains("\"threads\": \"4\""));
+        // Balanced braces/brackets (cheap structural sanity check).
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn record_wall_is_identity() {
+        let m = record_wall("sweep", Duration::from_millis(3));
+        assert!((m.ns_per_op - 3e6).abs() < 1.0);
+        assert_eq!(m.iters, 1);
+    }
+}

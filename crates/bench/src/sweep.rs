@@ -1,14 +1,15 @@
 //! The full evaluation sweep: 3 algorithms × rate axis × seeds.
 //!
 //! One sweep produces the data for *all* of Figures 6–11 (the paper's
-//! figures are different projections of the same runs). Runs execute in
-//! parallel with rayon; each individual simulation stays single-threaded
-//! and deterministic in its seed.
+//! figures are different projections of the same runs). Runs fan out
+//! across cores on [`desim::pool`]; each individual simulation stays
+//! single-threaded and deterministic in its seed, and the pool preserves
+//! job → result ordering, so a parallel sweep is bit-for-bit identical
+//! to a serial one (`RASC_THREADS=1`).
 
 use rasc_core::compose::ComposerKind;
 use rasc_core::engine::EngineConfig;
 use rasc_core::metrics::RunReport;
-use rayon::prelude::*;
 use workload::{run_experiment_with, PaperSetup};
 
 /// Sweep parameters.
@@ -63,44 +64,60 @@ impl SweepCell {
             return 0.0;
         }
         let mean = self.mean(&f);
-        let var = self
-            .runs
-            .iter()
-            .map(|r| (f(r) - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var = self.runs.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 }
 
 /// Runs the full sweep: every algorithm at every rate with every seed.
 /// Cells come back ordered by (algorithm, rate).
+///
+/// Uses [`desim::pool::default_threads`] workers (override with the
+/// `RASC_THREADS` environment variable).
 pub fn paper_sweep(cfg: &SweepConfig) -> Vec<SweepCell> {
+    paper_sweep_threads(cfg, desim::pool::default_threads())
+}
+
+/// [`paper_sweep`] with an explicit worker count (`threads == 1` is the
+/// fully serial reference execution).
+///
+/// The 3 × rates × seeds simulations are flattened into one job list so
+/// the pool load-balances across all of them at once (cells vary wildly
+/// in runtime — mincost at 200 Kb/s costs far more than random at 50),
+/// then regrouped into cells ordered by (algorithm, rate) with runs in
+/// seed order, independent of the worker count.
+pub fn paper_sweep_threads(cfg: &SweepConfig, threads: usize) -> Vec<SweepCell> {
     let mut jobs = Vec::new();
     for &composer in &ComposerKind::ALL {
         for &rate in &cfg.rates_kbps {
-            jobs.push((composer, rate));
+            for &seed in &cfg.seeds {
+                jobs.push((composer, rate, seed));
+            }
         }
     }
-    jobs.par_iter()
-        .map(|&(composer, rate)| {
-            let runs: Vec<RunReport> = cfg
-                .seeds
-                .par_iter()
-                .map(|&seed| {
-                    let mut setup = cfg.setup.clone();
-                    setup.avg_rate_kbps = rate;
-                    setup.seed = seed;
-                    run_experiment_with(&setup, composer, cfg.config.clone()).report
-                })
+    let mut reports =
+        desim::pool::parallel_map_threads(threads, &jobs, |_, &(composer, rate, seed)| {
+            let mut setup = cfg.setup.clone();
+            setup.avg_rate_kbps = rate;
+            setup.seed = seed;
+            run_experiment_with(&setup, composer, cfg.config.clone()).report
+        })
+        .into_iter();
+
+    let mut cells = Vec::with_capacity(ComposerKind::ALL.len() * cfg.rates_kbps.len());
+    for &composer in &ComposerKind::ALL {
+        for &rate in &cfg.rates_kbps {
+            let runs: Vec<RunReport> = (0..cfg.seeds.len())
+                .map(|_| reports.next().expect("one report per job"))
                 .collect();
-            SweepCell {
+            cells.push(SweepCell {
                 composer,
                 rate_kbps: rate,
                 runs,
-            }
-        })
-        .collect()
+            });
+        }
+    }
+    cells
 }
 
 #[cfg(test)]
@@ -124,6 +141,31 @@ mod tests {
         assert_eq!(cells[0].composer, ComposerKind::MinCost);
         assert_eq!(cells[2].composer, ComposerKind::Random);
         assert_eq!(cells[4].composer, ComposerKind::Greedy);
+    }
+
+    /// The pool preserves job → result ordering and every simulation is
+    /// deterministic in its seed, so a parallel sweep must reproduce the
+    /// serial one exactly — on any machine, with any worker count.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let cfg = SweepConfig {
+            setup: PaperSetup::small(0),
+            rates_kbps: vec![50.0],
+            seeds: vec![1, 2, 3],
+            config: EngineConfig::default(),
+        };
+        let key = |cells: &[SweepCell]| -> Vec<(u64, u64, u64, u64, u64)> {
+            cells
+                .iter()
+                .flat_map(|c| c.runs.iter())
+                .map(|r| (r.composed, r.rejected, r.generated, r.delivered, r.timely))
+                .collect()
+        };
+        let serial = paper_sweep_threads(&cfg, 1);
+        for threads in [2, 4] {
+            let parallel = paper_sweep_threads(&cfg, threads);
+            assert_eq!(key(&serial), key(&parallel), "threads={threads}");
+        }
     }
 
     #[test]

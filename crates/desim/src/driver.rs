@@ -31,11 +31,7 @@ pub enum StepOutcome {
 /// Runs the world until the queue drains or the next event is at or after
 /// `horizon`. Returns the time of the last event delivered (or `ZERO` if
 /// none were).
-pub fn run<W: World>(
-    world: &mut W,
-    queue: &mut EventQueue<W::Event>,
-    horizon: SimTime,
-) -> SimTime {
+pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, horizon: SimTime) -> SimTime {
     run_until(world, queue, horizon, u64::MAX).0
 }
 
@@ -161,7 +157,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(9), 0);
         run(&mut w, &mut q, SimTime::MAX);
-        assert_eq!(w.times, vec![SimTime::from_millis(9), SimTime::from_millis(9)]);
+        assert_eq!(
+            w.times,
+            vec![SimTime::from_millis(9), SimTime::from_millis(9)]
+        );
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`SimRng`] — a small, fully deterministic PRNG (xoshiro256++ seeded via
 //!   SplitMix64) with the distributions the workloads need,
 //! * [`World`] + [`run`] — a simple dispatch loop driving a user-defined
-//!   event handler until the queue drains or a horizon is reached.
+//!   event handler until the queue drains or a horizon is reached,
+//! * [`pool`] — a scoped thread pool for fanning independent simulations
+//!   across cores with deterministic job → result ordering.
 //!
 //! Determinism is the design goal: given the same seed and the same inputs,
 //! a simulation replays identically on any platform. Events scheduled for
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod driver;
+pub mod pool;
 mod queue;
 mod rng;
 mod time;

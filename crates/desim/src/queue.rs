@@ -48,6 +48,11 @@ impl<E> Ord for Entry<E> {
 /// the crate that owns the simulation loop.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs of scheduled events that have neither fired nor been
+    /// cancelled. Membership here is what makes a handle live: cancelling
+    /// a handle whose event already fired is rejected outright instead of
+    /// parking its id in `cancelled` forever.
+    pending: HashSet<u64>,
     cancelled: HashSet<u64>,
     next_seq: u64,
     scheduled: u64,
@@ -65,6 +70,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            pending: HashSet::new(),
             cancelled: HashSet::new(),
             next_seq: 0,
             scheduled: 0,
@@ -79,6 +85,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
+        self.pending.insert(seq);
         self.heap.push(Reverse(Entry {
             time: at,
             seq,
@@ -90,12 +97,15 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired (or been cancelled).
-    /// Cancelling an already-fired handle is a no-op returning `false`.
+    /// Cancelling an already-fired, already-cancelled, or unknown handle
+    /// is a no-op returning `false` — the id is not retained, so stale
+    /// handles cannot grow the cancellation set.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        if !self.pending.remove(&handle.0) {
             return false;
         }
-        self.cancelled.insert(handle.0)
+        self.cancelled.insert(handle.0);
+        true
     }
 
     /// Pops the earliest pending event, skipping cancelled entries.
@@ -104,6 +114,7 @@ impl<E> EventQueue<E> {
             if self.cancelled.remove(&entry.seq) {
                 continue;
             }
+            self.pending.remove(&entry.seq);
             self.fired += 1;
             return Some((entry.time, entry.payload));
         }
@@ -136,6 +147,13 @@ impl<E> EventQueue<E> {
     /// cancelled entries). Useful for capacity monitoring in tests.
     pub fn raw_len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Number of cancelled entries still awaiting compaction off the
+    /// heap. Bounded by [`raw_len`](Self::raw_len); monotone growth here
+    /// would indicate a cancellation-bookkeeping leak.
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 
     /// Total events scheduled over the queue's lifetime.
@@ -192,9 +210,30 @@ mod tests {
         assert_eq!(q.pop(), Some((t(1), 1)));
         assert_eq!(q.pop(), Some((t(3), 3)));
         assert_eq!(q.pop(), None);
-        // h1 already fired; cancelling it is a no-op but must not panic.
-        assert!(q.cancel(h1));
-        let _ = h1;
+        // h1 already fired; cancelling it is a no-op reporting false.
+        assert!(!q.cancel(h1));
+    }
+
+    /// Regression: cancelling handles whose events already fired must not
+    /// accumulate ids in the cancellation set (the id can never be
+    /// reclaimed by `pop`, so each one would leak forever).
+    #[test]
+    fn cancel_after_fire_does_not_leak() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..1000).map(|i| q.schedule(t(i), i)).collect();
+        while q.pop().is_some() {}
+        for h in &handles {
+            assert!(!q.cancel(*h), "fired handle reported as cancelled");
+        }
+        assert_eq!(q.cancelled_backlog(), 0, "fired handles leaked");
+        assert_eq!(q.raw_len(), 0);
+        // Live cancellations still count — and are reclaimed on pop.
+        let h = q.schedule(t(5000), 1);
+        q.schedule(t(5001), 2);
+        assert!(q.cancel(h));
+        assert_eq!(q.cancelled_backlog(), 1);
+        assert_eq!(q.pop(), Some((t(5001), 2)));
+        assert_eq!(q.cancelled_backlog(), 0);
     }
 
     #[test]

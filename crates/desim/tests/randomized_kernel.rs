@@ -1,0 +1,158 @@
+//! Seeded randomized tests for the simulation kernel: the event queue
+//! against a reference model, and distribution sanity for the RNG.
+//! Driven by `SimRng` itself, so every case is reproducible from the
+//! seed printed in the assertion message.
+
+use desim::{EventQueue, SimRng, SimTime};
+
+/// Operations applied to both the real queue and a reference model.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule(u64),
+    Pop,
+    CancelNth(usize),
+}
+
+fn random_ops(rng: &mut SimRng) -> Vec<Op> {
+    let len = rng.range_usize(1, 200);
+    (0..len)
+        .map(|_| match rng.range_u64(0, 3) {
+            0 => Op::Schedule(rng.range_u64(0, 10_000)),
+            1 => Op::Pop,
+            _ => Op::CancelNth(rng.range_usize(0, 64)),
+        })
+        .collect()
+}
+
+/// The queue behaves exactly like a sorted reference model under an
+/// arbitrary interleaving of schedules, pops, and cancellations.
+#[test]
+fn queue_matches_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0xA11CE ^ case);
+        let ops = random_ops(&mut rng);
+        let mut queue = EventQueue::new();
+        // Reference: (time, seq, payload, cancelled)
+        let mut model: Vec<(SimTime, u64, u64, bool)> = Vec::new();
+        let mut handles = Vec::new();
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(t) => {
+                    let at = SimTime::from_micros(t);
+                    let h = queue.schedule(at, seq);
+                    handles.push(h);
+                    model.push((at, seq, seq, false));
+                    seq += 1;
+                }
+                Op::Pop => {
+                    let expected = model
+                        .iter()
+                        .filter(|e| !e.3)
+                        .min_by_key(|e| (e.0, e.1))
+                        .map(|e| (e.0, e.2));
+                    let got = queue.pop();
+                    assert_eq!(got, expected, "case {case}");
+                    if let Some((_, payload)) = expected {
+                        let idx = model.iter().position(|e| e.2 == payload).unwrap();
+                        model.remove(idx);
+                    }
+                }
+                Op::CancelNth(i) => {
+                    if i < handles.len() {
+                        // Live = scheduled, not cancelled, not yet popped
+                        // (popped entries were removed from the model).
+                        let was_live = model.iter().any(|e| e.1 == i as u64 && !e.3);
+                        let ok = queue.cancel(handles[i]);
+                        assert_eq!(ok, was_live, "case {case}: cancel({i})");
+                        if was_live {
+                            if let Some(e) = model.iter_mut().find(|e| e.1 == i as u64) {
+                                e.3 = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Drain: remaining events pop in (time, seq) order, and the
+        // cancellation bookkeeping fully empties with the queue.
+        let mut rest: Vec<(SimTime, u64)> =
+            model.iter().filter(|e| !e.3).map(|e| (e.0, e.2)).collect();
+        rest.sort_by_key(|&(t, s)| (t, s));
+        for expected in rest {
+            assert_eq!(queue.pop(), Some(expected), "case {case}");
+        }
+        assert_eq!(queue.pop(), None, "case {case}");
+        assert_eq!(queue.raw_len(), 0, "case {case}");
+        assert_eq!(queue.cancelled_backlog(), 0, "case {case}");
+    }
+}
+
+/// Uniform range draws stay in bounds and hit both halves.
+#[test]
+fn rng_range_unbiased_enough() {
+    let mut meta = SimRng::new(0xBEEF);
+    for case in 0..128u64 {
+        let seed = meta.next_u64();
+        let lo = meta.range_u64(0, 1000);
+        let span = meta.range_u64(2, 1000);
+        let mut rng = SimRng::new(seed);
+        let hi = lo + span;
+        let mid = lo + span / 2;
+        let mut low_half = 0u32;
+        for _ in 0..200 {
+            let x = rng.range_u64(lo, hi);
+            assert!(
+                (lo..hi).contains(&x),
+                "case {case}: {x} out of [{lo}, {hi})"
+            );
+            if x < mid {
+                low_half += 1;
+            }
+        }
+        // Loose: binomial(200, ~0.5) essentially never leaves [40, 160].
+        assert!(
+            (40..=160).contains(&low_half),
+            "case {case}: low_half = {low_half}"
+        );
+    }
+}
+
+/// Forked streams never mirror their parent.
+#[test]
+fn rng_forks_diverge() {
+    let mut meta = SimRng::new(0xF0F0);
+    for case in 0..128u64 {
+        let seed = meta.next_u64();
+        let label = meta.next_u64();
+        let mut parent = SimRng::new(seed);
+        let mut probe = SimRng::new(seed);
+        let mut child = parent.fork(label);
+        // Skip the draw fork() consumed.
+        let _ = probe.next_u64();
+        let matches = (0..64)
+            .filter(|_| child.next_u64() == probe.next_u64())
+            .count();
+        assert!(
+            matches < 8,
+            "case {case}: fork mirrors parent: {matches} matches"
+        );
+    }
+}
+
+/// Shuffling preserves multisets.
+#[test]
+fn shuffle_is_permutation() {
+    let mut meta = SimRng::new(0x5417);
+    for case in 0..128u64 {
+        let seed = meta.next_u64();
+        let len = meta.range_usize(0, 50);
+        let mut v: Vec<u32> = (0..len).map(|_| meta.range_u64(0, 100) as u32).collect();
+        let mut rng = SimRng::new(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        assert_eq!(original, v, "case {case}");
+    }
+}

@@ -52,11 +52,7 @@ impl CostScaling {
         }
         // Super-arc cost: strictly below minus the most expensive simple
         // path, so maximizing super-arc flow dominates all routing costs.
-        let cost_mag: i64 = net
-            .edges()
-            .map(|e| net.cost(e).abs())
-            .sum::<i64>()
-            .max(1);
+        let cost_mag: i64 = net.edges().map(|e| net.cost(e).abs()).sum::<i64>().max(1);
         let super_cost = -(cost_mag + 1);
         let super_edge = net.add_edge(sink, source, target, super_cost);
 

@@ -44,6 +44,23 @@ impl FlowNetwork {
         self.adj.len()
     }
 
+    /// Clears the network down to `n` isolated nodes while retaining the
+    /// arc and adjacency allocations, so a caller solving many similarly
+    /// sized instances (e.g. one layered graph per substream) can reuse
+    /// one network as an arena instead of rebuilding it from scratch.
+    pub fn reset(&mut self, n: usize) {
+        self.arcs.clear();
+        self.original_cap.clear();
+        for list in &mut self.adj {
+            list.clear();
+        }
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        } else {
+            self.adj.truncate(n);
+        }
+    }
+
     /// Number of user edges (not counting residual arcs).
     pub fn num_edges(&self) -> usize {
         self.original_cap.len()
@@ -109,9 +126,7 @@ impl FlowNetwork {
 
     /// Total cost of the currently installed flow.
     pub fn total_cost(&self) -> i64 {
-        self.edges()
-            .map(|e| self.flow_on(e) * self.cost(e))
-            .sum()
+        self.edges().map(|e| self.flow_on(e) * self.cost(e)).sum()
     }
 
     /// Net flow out of a node (outgoing minus incoming over user edges).
@@ -211,6 +226,26 @@ mod tests {
         assert_eq!(net.residual(e), 5);
         assert_eq!(net.flow_on(e), 0);
         assert_eq!(net.total_cost(), 0);
+    }
+
+    #[test]
+    fn reset_reuses_arena() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5, 1);
+        net.add_edge(1, 2, 5, 1);
+        net.push(0, 2);
+        net.reset(2);
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 0);
+        let v = net.add_node();
+        assert_eq!(v, 2);
+        let e = net.add_edge(0, v, 9, 4);
+        assert_eq!(net.flow_on(e), 0);
+        assert_eq!(net.capacity(e), 9);
+        // Growing past the previous size works too.
+        net.reset(8);
+        assert_eq!(net.num_nodes(), 8);
+        assert_eq!(net.num_edges(), 0);
     }
 
     #[test]

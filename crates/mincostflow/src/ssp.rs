@@ -339,7 +339,9 @@ mod tests {
         };
         let mut a = build();
         let mut b = build();
-        let sa = SspSolver::new(SspVariant::Spfa).solve(&mut a, 0, 7, 45).unwrap();
+        let sa = SspSolver::new(SspVariant::Spfa)
+            .solve(&mut a, 0, 7, 45)
+            .unwrap();
         let sb = SspSolver::new(SspVariant::Dijkstra)
             .solve(&mut b, 0, 7, 45)
             .unwrap();

@@ -42,12 +42,7 @@ pub enum Violation {
 
 /// Verifies the installed flow is a feasible `source → sink` flow of value
 /// `value`. Returns all violations found (empty = valid).
-pub fn check_flow(
-    net: &FlowNetwork,
-    source: NodeId,
-    sink: NodeId,
-    value: i64,
-) -> Vec<Violation> {
+pub fn check_flow(net: &FlowNetwork, source: NodeId, sink: NodeId, value: i64) -> Vec<Violation> {
     let mut violations = Vec::new();
     for e in net.edges() {
         let flow = net.flow_on(e);
@@ -66,7 +61,10 @@ pub fn check_flow(
         }
         let net_out = net.net_out_flow(v);
         if net_out != 0 {
-            violations.push(Violation::ConservationBroken { node: v, net: net_out });
+            violations.push(Violation::ConservationBroken {
+                node: v,
+                net: net_out,
+            });
         }
     }
     let at_source = net.net_out_flow(source);

@@ -46,8 +46,8 @@
 mod ewma;
 mod histogram;
 mod rate;
-mod throughput;
 mod resources;
+mod throughput;
 mod welford;
 mod window;
 

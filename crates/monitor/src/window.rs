@@ -32,10 +32,9 @@ impl OutcomeWindow {
 
     /// Records one data-unit outcome.
     pub fn record(&mut self, dropped: bool) {
-        if self.window.len() == self.capacity
-            && self.window.pop_front() == Some(true) {
-                self.dropped_in_window -= 1;
-            }
+        if self.window.len() == self.capacity && self.window.pop_front() == Some(true) {
+            self.dropped_in_window -= 1;
+        }
         self.window.push_back(dropped);
         if dropped {
             self.dropped_in_window += 1;
@@ -162,8 +161,8 @@ mod tests {
         for (i, &d) in pattern.iter().enumerate() {
             w.record(d);
             let start = (i + 1).saturating_sub(5);
-            let expect = pattern[start..=i].iter().filter(|&&x| x).count() as f64
-                / (i + 1 - start) as f64;
+            let expect =
+                pattern[start..=i].iter().filter(|&&x| x).count() as f64 / (i + 1 - start) as f64;
             assert!((w.ratio() - expect).abs() < 1e-12, "at step {i}");
         }
     }

@@ -56,10 +56,7 @@ impl<V: Clone + Ord> Dht<V> {
         let mut group = vec![owner];
         // Nearest alive members by ring distance to the owner's key.
         let owner_key = overlay.key_of(owner);
-        let mut others: Vec<MemberId> = overlay
-            .alive_members()
-            .filter(|&m| m != owner)
-            .collect();
+        let mut others: Vec<MemberId> = overlay.alive_members().filter(|&m| m != owner).collect();
         others.sort_by_key(|&m| overlay.key_of(m).ring_distance(owner_key));
         group.extend(others.into_iter().take(self.replicas));
         group

@@ -43,8 +43,16 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_keys() {
         let names = [
-            "filter", "aggregate", "transcode", "project", "join", "sample", "encrypt",
-            "compress", "annotate", "classify",
+            "filter",
+            "aggregate",
+            "transcode",
+            "project",
+            "join",
+            "sample",
+            "encrypt",
+            "compress",
+            "annotate",
+            "classify",
         ];
         let mut keys: Vec<_> = names.iter().map(|n| stable_hash128(n.as_bytes())).collect();
         keys.sort();

@@ -234,7 +234,9 @@ impl Overlay {
         // table/leaf-set insertion rules trim correctly.
         for &hop in &path {
             let hop_state = &self.nodes[hop];
-            state.table.consider(hop_state.key, hop, |c| proximity(id, c));
+            state
+                .table
+                .consider(hop_state.key, hop, |c| proximity(id, c));
             state.leaves.consider(hop_state.key, hop);
             for (k, m) in hop_state.table.entries() {
                 if self.nodes[m].alive {
@@ -311,7 +313,10 @@ impl Overlay {
         if alive.is_empty() {
             return 0.0;
         }
-        alive.iter().map(|&m| self.nodes[m].table.len()).sum::<usize>() as f64
+        alive
+            .iter()
+            .map(|&m| self.nodes[m].table.len())
+            .sum::<usize>() as f64
             / alive.len() as f64
     }
 }

@@ -56,7 +56,9 @@ impl RoutingTable {
                 self.rows[row][col] = Some((key, member));
                 true
             }
-            Some((_, existing)) if existing != member && proximity(member) < proximity(existing) => {
+            Some((_, existing))
+                if existing != member && proximity(member) < proximity(existing) =>
+            {
                 self.rows[row][col] = Some((key, member));
                 true
             }
@@ -118,7 +120,10 @@ pub struct LeafSet {
 impl LeafSet {
     /// Creates an empty leaf set holding up to `l / 2` nodes per side.
     pub fn new(owner_key: NodeKey, l: usize) -> Self {
-        assert!(l >= 2 && l.is_multiple_of(2), "leaf set size must be even and ≥ 2");
+        assert!(
+            l >= 2 && l.is_multiple_of(2),
+            "leaf set size must be even and ≥ 2"
+        );
         LeafSet {
             owner_key,
             half: l / 2,
@@ -140,17 +145,27 @@ impl LeafSet {
         }
         let mut changed = false;
         let dcw = self.owner_key.clockwise_distance(key);
-        if Self::insert_side(&mut self.cw, key, member, dcw, self.half, |o, k| {
-            o.clockwise_distance(k)
-        }, self.owner_key)
-        {
+        if Self::insert_side(
+            &mut self.cw,
+            key,
+            member,
+            dcw,
+            self.half,
+            |o, k| o.clockwise_distance(k),
+            self.owner_key,
+        ) {
             changed = true;
         }
         let dccw = key.clockwise_distance(self.owner_key);
-        if Self::insert_side(&mut self.ccw, key, member, dccw, self.half, |o, k| {
-            k.clockwise_distance(o)
-        }, self.owner_key)
-        {
+        if Self::insert_side(
+            &mut self.ccw,
+            key,
+            member,
+            dccw,
+            self.half,
+            |o, k| k.clockwise_distance(o),
+            self.owner_key,
+        ) {
             changed = true;
         }
         changed
@@ -274,7 +289,10 @@ mod tests {
         let a = key(0x8000_0001);
         let b = key(0x8000_0002);
         assert_eq!(key(1).shared_prefix_len(a), key(1).shared_prefix_len(b));
-        assert_eq!(a.digit(key(1).shared_prefix_len(a)), b.digit(key(1).shared_prefix_len(b)));
+        assert_eq!(
+            a.digit(key(1).shared_prefix_len(a)),
+            b.digit(key(1).shared_prefix_len(b))
+        );
         let prox = |m: MemberId| if m == 1 { 10.0 } else { 3.0 };
         assert!(t.consider(a, 1, prox));
         // b is closer (proximity 3 < 10): displaces a.

@@ -1,0 +1,107 @@
+//! Seeded randomized tests for Pastry routing: correctness (delivery at
+//! the true owner), loop-freedom, and bounded path length under churn.
+//! Cases are generated from `desim::SimRng` and reproduce from the case
+//! number in the assertion message.
+
+use desim::SimRng;
+use overlay::{stable_hash128, Dht, MemberId, NodeKey, Overlay};
+
+fn flat(_: MemberId, _: MemberId) -> f64 {
+    1.0
+}
+
+fn random_u128(rng: &mut SimRng) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// Every route from every start delivers at the ring-closest member.
+#[test]
+fn routes_deliver_at_owner() {
+    let mut rng = SimRng::new(0x0ca7e);
+    for case in 0..64u32 {
+        let n = rng.range_usize(2, 40);
+        let seed = rng.range_u64(0, 1000);
+        let lookups: Vec<u128> = (0..rng.range_usize(1, 20))
+            .map(|_| random_u128(&mut rng))
+            .collect();
+        let ov = Overlay::build(n, seed, &flat);
+        for (i, raw) in lookups.iter().enumerate() {
+            let key = NodeKey(*raw);
+            let from = i % n;
+            let path = ov.route_path(from, key);
+            assert_eq!(*path.last().unwrap(), ov.owner_of(key), "case {case}");
+            // Loop-freedom: no member repeats along the path.
+            let mut seen = path.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), path.len(), "case {case}: loop in {path:?}");
+            // Pastry bound: generous log-based cap.
+            assert!(path.len() <= 10, "case {case}: path too long: {path:?}");
+        }
+    }
+}
+
+/// After arbitrary join/remove sequences, routing still delivers at
+/// the (current) owner.
+#[test]
+fn churn_preserves_delivery() {
+    let mut rng = SimRng::new(0xc4a2);
+    for case in 0..64u32 {
+        let n = rng.range_usize(4, 16);
+        let seed = rng.range_u64(0, 500);
+        let ops: Vec<(bool, u128)> = (0..rng.range_usize(1, 12))
+            .map(|_| (rng.chance(0.5), random_u128(&mut rng)))
+            .collect();
+        let mut ov = Overlay::build(n, seed, &flat);
+        for (is_join, raw) in ops {
+            if is_join {
+                let key = NodeKey(raw);
+                if ov.alive_members().all(|m| ov.key_of(m) != key) {
+                    let boot = ov.alive_members().next().unwrap();
+                    ov.join(key, boot, &flat);
+                }
+            } else if ov.alive_count() > 2 {
+                let victims: Vec<_> = ov.alive_members().collect();
+                let victim = victims[(raw % victims.len() as u128) as usize];
+                ov.remove(victim);
+            }
+            let key = NodeKey(raw ^ 0xABCD_EF01);
+            let from = ov.alive_members().next().unwrap();
+            let path = ov.route_path(from, key);
+            assert_eq!(*path.last().unwrap(), ov.owner_of(key), "case {case}");
+        }
+    }
+}
+
+/// Service names hash to keys that the DHT stores and retrieves from
+/// any vantage point.
+#[test]
+fn dht_visible_from_all_members() {
+    let mut rng = SimRng::new(0xd47);
+    for case in 0..64u32 {
+        let n = rng.range_usize(2, 24);
+        let seed = rng.range_u64(0, 500);
+        let names: Vec<String> = (0..rng.range_usize(1, 8))
+            .map(|_| {
+                (0..rng.range_usize(1, 13))
+                    .map(|_| (b'a' + rng.range_u64(0, 26) as u8) as char)
+                    .collect()
+            })
+            .collect();
+        let ov = Overlay::build(n, seed, &flat);
+        let mut dht = Dht::new(n, 2);
+        for (i, name) in names.iter().enumerate() {
+            dht.insert(&ov, i % n, stable_hash128(name.as_bytes()), i as u32);
+        }
+        for (i, name) in names.iter().enumerate() {
+            for from in 0..n {
+                let r = dht.lookup(&ov, from, stable_hash128(name.as_bytes()));
+                assert!(
+                    r.values.contains(&(i as u32)),
+                    "case {case}: member {from} cannot see {name} (got {:?})",
+                    r.values
+                );
+            }
+        }
+    }
+}

@@ -131,9 +131,7 @@ impl ServiceDirectory {
     /// Mean number of providers per service (the paper's "replication
     /// degree", 16 in its setup).
     pub fn mean_replication(&self) -> f64 {
-        let total: usize = (0..self.keys.len())
-            .map(|s| self.providers(s).len())
-            .sum();
+        let total: usize = (0..self.keys.len()).map(|s| self.providers(s).len()).sum();
         total as f64 / self.keys.len() as f64
     }
 }
@@ -189,8 +187,7 @@ mod tests {
     fn explicit_assignment_respected() {
         let catalog = ServiceCatalog::synthetic(3, 4);
         let ov = Overlay::build(3, 4, &flat);
-        let dir =
-            ServiceDirectory::explicit(&catalog, &ov, vec![vec![0, 1], vec![1], vec![2]]);
+        let dir = ServiceDirectory::explicit(&catalog, &ov, vec![vec![0, 1], vec![1], vec![2]]);
         assert!(dir.hosts(0, 0));
         assert!(dir.hosts(0, 1));
         assert!(!dir.hosts(1, 0));

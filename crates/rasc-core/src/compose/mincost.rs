@@ -30,7 +30,7 @@
 //! Algorithm 1's "update the node capacities" step.
 
 use super::{
-    apply_reservations, gain_prefix, precheck, ComposeError, Composer, ProviderMap,
+    apply_reservations, gain_prefix, precheck, with_rollback, ComposeError, Composer, ProviderMap,
 };
 use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
 use crate::view::SystemView;
@@ -82,6 +82,47 @@ impl LatencyMatrix {
     }
 }
 
+/// Memoizes the per-host arc cost for the duration of one substream
+/// solve (the view, and with it utilization, changes between
+/// substreams). Epoch-stamped so "resetting" between substreams is a
+/// single increment instead of clearing the table.
+#[derive(Clone, Debug, Default)]
+struct CostMemo {
+    val: Vec<i64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl CostMemo {
+    /// Starts a fresh memoization scope over `n` hosts.
+    fn begin(&mut self, n: usize) {
+        if self.val.len() < n {
+            self.val.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch += 1;
+    }
+
+    /// The arc cost of `host`, computed at most once per scope.
+    fn get(&mut self, view: &SystemView, host: simnet::NodeId) -> i64 {
+        if self.stamp[host] != self.epoch {
+            self.stamp[host] = self.epoch;
+            self.val[host] = cost_of(view, host);
+        }
+        self.val[host]
+    }
+}
+
+/// Retained allocations reused across substream solves: the flow-network
+/// arena and the host-cost memo. Composition is called once per request
+/// in the engine's steady state, so this converts the hot path from
+/// allocate-solve-drop to reset-solve.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    net: FlowNetwork,
+    costs: CostMemo,
+}
+
 /// The RASC composer.
 #[derive(Clone, Debug, Default)]
 pub struct MinCostComposer {
@@ -90,6 +131,7 @@ pub struct MinCostComposer {
     /// Optional link latencies; when present, transfer edges carry a
     /// small latency-proportional cost (see [`LATENCY_WEIGHT`]).
     pub latencies: Option<Arc<LatencyMatrix>>,
+    scratch: Scratch,
 }
 
 impl Composer for MinCostComposer {
@@ -102,27 +144,21 @@ impl Composer for MinCostComposer {
         _rng: &mut SimRng,
     ) -> Result<ExecutionGraph, ComposeError> {
         precheck(req, catalog, providers)?;
-        let backup = view.clone();
-        let mut substream_stages = Vec::with_capacity(req.graph.substreams.len());
-        for (l, sub) in req.graph.substreams.iter().enumerate() {
-            match self.compose_substream(req, catalog, providers, view, l) {
-                Ok(stages) => {
-                    // Reserve before the next substream (Algorithm 1).
-                    let partial = ExecutionGraph {
-                        substreams: vec![stages.clone()],
-                    };
-                    let partial_req = one_substream_request(req, l, sub.services.clone());
-                    apply_reservations(&partial_req, catalog, &partial, view);
-                    substream_stages.push(stages);
-                }
-                Err(e) => {
-                    *view = backup;
-                    return Err(e);
-                }
+        with_rollback(view, |view| {
+            let mut substream_stages = Vec::with_capacity(req.graph.substreams.len());
+            for (l, sub) in req.graph.substreams.iter().enumerate() {
+                let stages = self.compose_substream(req, catalog, providers, view, l)?;
+                // Reserve before the next substream (Algorithm 1).
+                let partial = ExecutionGraph {
+                    substreams: vec![stages.clone()],
+                };
+                let partial_req = one_substream_request(req, l, sub.services.clone());
+                apply_reservations(&partial_req, catalog, &partial, view);
+                substream_stages.push(stages);
             }
-        }
-        Ok(ExecutionGraph {
-            substreams: substream_stages,
+            Ok(ExecutionGraph {
+                substreams: substream_stages,
+            })
         })
     }
 
@@ -132,11 +168,7 @@ impl Composer for MinCostComposer {
 }
 
 /// A single-substream copy of `req` (for reservation bookkeeping).
-fn one_substream_request(
-    req: &ServiceRequest,
-    l: usize,
-    services: Vec<usize>,
-) -> ServiceRequest {
+fn one_substream_request(req: &ServiceRequest, l: usize, services: Vec<usize>) -> ServiceRequest {
     ServiceRequest {
         graph: crate::model::ServiceRequestGraph {
             substreams: vec![crate::model::Substream { services }],
@@ -155,6 +187,7 @@ impl MinCostComposer {
         MinCostComposer {
             algorithm,
             latencies: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -164,16 +197,8 @@ impl MinCostComposer {
         self
     }
 
-    /// Transfer-edge cost between two hosts.
-    fn hop_cost(&self, from: usize, to: usize) -> i64 {
-        match &self.latencies {
-            Some(m) => (m.get(from, to) * LATENCY_WEIGHT).round() as i64,
-            None => 0,
-        }
-    }
-
     fn compose_substream(
-        &self,
+        &mut self,
         req: &ServiceRequest,
         catalog: &ServiceCatalog,
         providers: &ProviderMap,
@@ -190,7 +215,23 @@ impl MinCostComposer {
             return Err(ComposeError::InsufficientCapacity { substream: l });
         }
 
-        let mut net = FlowNetwork::new(2);
+        // Transfer-edge cost between two hosts, hoisted so the scratch
+        // borrows below don't alias `self`.
+        let algorithm = self.algorithm;
+        let latencies = self.latencies.clone();
+        let hop_cost = |from: usize, to: usize| -> i64 {
+            match &latencies {
+                Some(m) => (m.get(from, to) * LATENCY_WEIGHT).round() as i64,
+                None => 0,
+            }
+        };
+
+        // Reuse the retained arena and cost memo (reservations between
+        // substreams change the view, so the memo scope is one solve).
+        let net = &mut self.scratch.net;
+        let costs = &mut self.scratch.costs;
+        net.reset(2);
+        costs.begin(view.len());
         let src = 0usize;
         let dst = 1usize;
 
@@ -202,10 +243,13 @@ impl MinCostComposer {
             src,
             src_gate,
             to_milli(view.out_rate_capacity(req.source, req.unit_bits)),
-            cost_of(view, req.source),
+            costs.get(view, req.source),
         );
 
-        // Per layer: candidate hosts, each node-split.
+        // Per layer: candidate hosts, each node-split. Hosts whose r_max
+        // rounds to zero capacity are pruned before graph construction —
+        // they could never carry flow, and on a loaded system they would
+        // otherwise inflate every inter-layer edge product.
         let mut layer_nodes: Vec<Vec<(usize, usize, usize)>> = Vec::new(); // (in, out, host)
         let mut internal_edges: Vec<Vec<mincostflow::EdgeId>> = Vec::new();
         for (i, &service) in services.iter().enumerate() {
@@ -215,34 +259,38 @@ impl MinCostComposer {
             let mut this_edges = Vec::with_capacity(hosts.len());
             let exec_secs = catalog.get(service).exec_time.as_secs_f64();
             for &host in hosts {
-                let v_in = net.add_node();
-                let v_out = net.add_node();
                 // Native r_max expressed in source units (divide by gain),
                 // bounded by the host's NICs and (when enabled) its CPU.
                 let native = view.max_rate_with_cpu(host, req.unit_bits, ratio, exec_secs);
                 let cap = to_milli(native / gains[i]);
-                let e = net.add_edge(v_in, v_out, cap, cost_of(view, host));
+                if cap <= 0 {
+                    continue;
+                }
+                let v_in = net.add_node();
+                let v_out = net.add_node();
+                // Per-host cost hoisted out of the edge wiring below and
+                // memoized across layers (provider sets overlap).
+                let e = net.add_edge(v_in, v_out, cap, costs.get(view, host));
                 this_layer.push((v_in, v_out, host));
                 this_edges.push(e);
+            }
+            if this_layer.is_empty() {
+                // Every candidate is saturated; no flow can cross this
+                // layer, so the substream is unadmittable as a whole.
+                return Err(ComposeError::InsufficientCapacity { substream: l });
             }
             // Wire from previous layer (or the source gate).
             match layer_nodes.last() {
                 None => {
                     for &(v_in, _, host) in &this_layer {
-                        net.add_edge(src_gate, v_in, INF_CAP, self.hop_cost(req.source, host));
+                        net.add_edge(src_gate, v_in, INF_CAP, hop_cost(req.source, host));
                     }
                 }
                 Some(prev) => {
-                    let pairs: Vec<(usize, usize, usize, usize)> = prev
-                        .iter()
-                        .flat_map(|&(_, p_out, p_host)| {
-                            this_layer
-                                .iter()
-                                .map(move |&(v_in, _, host)| (p_out, p_host, v_in, host))
-                        })
-                        .collect();
-                    for (p_out, p_host, v_in, host) in pairs {
-                        net.add_edge(p_out, v_in, INF_CAP, self.hop_cost(p_host, host));
+                    for &(_, p_out, p_host) in prev {
+                        for &(v_in, _, host) in &this_layer {
+                            net.add_edge(p_out, v_in, INF_CAP, hop_cost(p_host, host));
+                        }
                     }
                 }
             }
@@ -253,16 +301,16 @@ impl MinCostComposer {
         // Destination downlink, in source units.
         let dst_gate = net.add_node();
         for &(_, v_out, host) in layer_nodes.last().expect("non-empty substream") {
-            net.add_edge(v_out, dst_gate, INF_CAP, self.hop_cost(host, req.destination));
+            net.add_edge(v_out, dst_gate, INF_CAP, hop_cost(host, req.destination));
         }
         net.add_edge(
             dst_gate,
             dst,
             to_milli(view.in_rate_capacity(req.destination, req.unit_bits) / delivery_gain),
-            cost_of(view, req.destination),
+            costs.get(view, req.destination),
         );
 
-        match min_cost_flow(&mut net, src, dst, target, self.algorithm) {
+        match min_cost_flow(net, src, dst, target, algorithm) {
             Ok(_) => {}
             Err(_) => return Err(ComposeError::InsufficientCapacity { substream: l }),
         }
@@ -372,7 +420,11 @@ mod tests {
         assert!((stage.total_rate() - 100.0).abs() < 1e-3);
         // The cheap small host is saturated (~61 du/s), remainder spills.
         let small = stage.placements.iter().find(|p| p.node == 1).unwrap();
-        assert!(small.rate > 55.0 && small.rate < 62.0, "small {}", small.rate);
+        assert!(
+            small.rate > 55.0 && small.rate < 62.0,
+            "small {}",
+            small.rate
+        );
     }
 
     #[test]
@@ -463,7 +515,11 @@ mod tests {
             .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
             .unwrap();
         let stage = &g.substreams[0][0];
-        assert!((stage.total_rate() - 20.0).abs() < 1e-6, "{}", stage.total_rate());
+        assert!(
+            (stage.total_rate() - 20.0).abs() < 1e-6,
+            "{}",
+            stage.total_rate()
+        );
     }
 
     #[test]

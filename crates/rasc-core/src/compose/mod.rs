@@ -21,9 +21,9 @@
 //! and the view is left untouched (reservations are rolled back).
 
 mod greedy;
-mod single;
 mod mincost;
 mod random;
+mod single;
 
 pub use greedy::GreedyComposer;
 pub use mincost::{LatencyMatrix, MinCostComposer};
@@ -117,8 +117,36 @@ impl ComposerKind {
     }
 
     /// All kinds, in the order the paper's figures list them.
-    pub const ALL: [ComposerKind; 3] =
-        [ComposerKind::MinCost, ComposerKind::Random, ComposerKind::Greedy];
+    pub const ALL: [ComposerKind; 3] = [
+        ComposerKind::MinCost,
+        ComposerKind::Random,
+        ComposerKind::Greedy,
+    ];
+}
+
+/// Runs `f` inside a [`SystemView`] reservation transaction: commits
+/// its reservations on `Ok`, rolls every one of them back on `Err`.
+///
+/// This is the single implementation of the composers' all-or-nothing
+/// admission rule. It replaces the `let backup = view.clone(); …;
+/// *view = backup;` pattern each composer used to carry: the undo log
+/// touches only the nodes the attempt actually reserved on, which is
+/// O(placements) instead of O(nodes) per rejected request.
+pub(crate) fn with_rollback<T>(
+    view: &mut SystemView,
+    f: impl FnOnce(&mut SystemView) -> Result<T, ComposeError>,
+) -> Result<T, ComposeError> {
+    view.begin_transaction();
+    match f(view) {
+        Ok(t) => {
+            view.commit_transaction();
+            Ok(t)
+        }
+        Err(e) => {
+            view.rollback_transaction();
+            Err(e)
+        }
+    }
 }
 
 /// Pre-checks shared by all composers. Returns an error if a named

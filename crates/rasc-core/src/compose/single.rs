@@ -2,7 +2,7 @@
 //! one component per service, full substream rate, explicit endpoint
 //! capacity checks, all-or-nothing reservation.
 
-use super::{gain_prefix, precheck, ComposeError, ProviderMap};
+use super::{gain_prefix, precheck, with_rollback, ComposeError, ProviderMap};
 use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
 use crate::view::SystemView;
 use desim::SimRng;
@@ -12,7 +12,8 @@ use simnet::NodeId;
 pub type PickFn<'a> = &'a mut dyn FnMut(&[NodeId], &SystemView, &mut SimRng) -> NodeId;
 
 /// Composes `req` placing exactly one component per service invocation.
-/// Reserves capacity as it goes; rolls the view back entirely on failure.
+/// Reserves capacity as it goes inside a view transaction; every
+/// reservation is rolled back on failure (see [`with_rollback`]).
 pub fn compose_single_placement(
     req: &ServiceRequest,
     catalog: &ServiceCatalog,
@@ -22,52 +23,51 @@ pub fn compose_single_placement(
     pick: PickFn<'_>,
 ) -> Result<ExecutionGraph, ComposeError> {
     precheck(req, catalog, providers)?;
-    let backup = view.clone();
-    let mut substreams = Vec::with_capacity(req.graph.substreams.len());
-    for (l, sub) in req.graph.substreams.iter().enumerate() {
-        let gains = gain_prefix(catalog, &sub.services);
-        let delivery_gain = gains[sub.services.len()];
-        let source_rate = req.rates[l] / delivery_gain;
-        // Endpoint capacity checks (the flow formulation does these via
-        // edge capacities; here they are explicit).
-        if view.out_rate_capacity(req.source, req.unit_bits) < source_rate
-            || view.in_rate_capacity(req.destination, req.unit_bits) < req.rates[l]
-        {
-            *view = backup;
-            return Err(ComposeError::InsufficientCapacity { substream: l });
-        }
-        view.reserve_source(req.source, req.unit_bits, source_rate);
-        view.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
-
-        let mut stages = Vec::with_capacity(sub.services.len());
-        for (i, &service) in sub.services.iter().enumerate() {
-            let svc = catalog.get(service);
-            let ratio = svc.rate_ratio;
-            let exec_secs = svc.exec_time.as_secs_f64();
-            let ingest = source_rate * gains[i];
-            let feasible: Vec<NodeId> = providers[&service]
-                .iter()
-                .copied()
-                .filter(|&n| {
-                    view.max_rate_with_cpu(n, req.unit_bits, ratio, exec_secs) >= ingest
-                })
-                .collect();
-            if feasible.is_empty() {
-                *view = backup;
+    with_rollback(view, |view| {
+        let mut substreams = Vec::with_capacity(req.graph.substreams.len());
+        for (l, sub) in req.graph.substreams.iter().enumerate() {
+            let gains = gain_prefix(catalog, &sub.services);
+            let delivery_gain = gains[sub.services.len()];
+            let source_rate = req.rates[l] / delivery_gain;
+            // Endpoint capacity checks (the flow formulation does these
+            // via edge capacities; here they are explicit).
+            if view.out_rate_capacity(req.source, req.unit_bits) < source_rate
+                || view.in_rate_capacity(req.destination, req.unit_bits) < req.rates[l]
+            {
                 return Err(ComposeError::InsufficientCapacity { substream: l });
             }
-            let node = pick(&feasible, view, rng);
-            debug_assert!(feasible.contains(&node), "pick outside feasible set");
-            view.reserve_component(node, req.unit_bits, ratio, ingest);
-            view.reserve_cpu(node, exec_secs, ingest);
-            stages.push(Stage {
-                service,
-                placements: vec![Placement { node, rate: ingest }],
-            });
+            view.reserve_source(req.source, req.unit_bits, source_rate);
+            view.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
+
+            let mut stages = Vec::with_capacity(sub.services.len());
+            for (i, &service) in sub.services.iter().enumerate() {
+                let svc = catalog.get(service);
+                let ratio = svc.rate_ratio;
+                let exec_secs = svc.exec_time.as_secs_f64();
+                let ingest = source_rate * gains[i];
+                let feasible: Vec<NodeId> = providers[&service]
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        view.max_rate_with_cpu(n, req.unit_bits, ratio, exec_secs) >= ingest
+                    })
+                    .collect();
+                if feasible.is_empty() {
+                    return Err(ComposeError::InsufficientCapacity { substream: l });
+                }
+                let node = pick(&feasible, view, rng);
+                debug_assert!(feasible.contains(&node), "pick outside feasible set");
+                view.reserve_component(node, req.unit_bits, ratio, ingest);
+                view.reserve_cpu(node, exec_secs, ingest);
+                stages.push(Stage {
+                    service,
+                    placements: vec![Placement { node, rate: ingest }],
+                });
+            }
+            substreams.push(stages);
         }
-        substreams.push(stages);
-    }
-    Ok(ExecutionGraph { substreams })
+        Ok(ExecutionGraph { substreams })
+    })
 }
 
 #[cfg(test)]

@@ -524,9 +524,7 @@ impl World for EngineState {
             }
             Event::AppStart(app) => self.handle_app_start(now, app, q),
             Event::AppStop(app) => self.handle_app_stop(app),
-            Event::SourceEmit { app, substream } => {
-                self.handle_source_emit(now, app, substream, q)
-            }
+            Event::SourceEmit { app, substream } => self.handle_source_emit(now, app, substream, q),
             Event::UnitArrive { node, unit } => self.handle_unit_arrive(now, node, unit, q),
             Event::CpuDone { node } => self.handle_cpu_done(now, node, q),
             Event::BgPhase { node, on } => self.handle_bg_phase(now, node, on, q),
@@ -649,7 +647,14 @@ impl EngineState {
     /// placements onto it (a positive feedback loop). Measuring offered
     /// rather than carried traffic is what a node observing its own
     /// inbound packet stream sees anyway (§3.2).
-    fn record_traffic(&mut self, now: SimTime, from: NodeId, to: NodeId, bits: u64, _accepted: bool) {
+    fn record_traffic(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bits: u64,
+        _accepted: bool,
+    ) {
         self.nodes[from].out_meter.record(now, bits);
         self.nodes[to].in_meter.record(now, bits);
     }
@@ -664,7 +669,10 @@ impl EngineState {
         let usage: Vec<(f64, f64)> = (0..n)
             .map(|v| {
                 (
-                    self.nodes[v].in_meter.rate(now).max(self.nodes[v].committed_in),
+                    self.nodes[v]
+                        .in_meter
+                        .rate(now)
+                        .max(self.nodes[v].committed_in),
                     self.nodes[v]
                         .out_meter
                         .rate(now)
@@ -790,14 +798,13 @@ impl EngineState {
                 .iter()
                 .map(|p| (p.node, p.rate))
                 .collect();
-            let first_chunk =
-                self.stage_chunk(&first_targets, stages[0].service, req.unit_bits);
+            let first_chunk = self.stage_chunk(&first_targets, stages[0].service, req.unit_bits);
             source_wrr.push(ChunkedWrr::new(Wrr::new(first_targets), first_chunk));
             // Instantiate each placement's component with its downstream.
             for (i, stage) in stages.iter().enumerate() {
-                let next: Option<Vec<(NodeId, f64)>> = stages.get(i + 1).map(|nxt| {
-                    nxt.placements.iter().map(|p| (p.node, p.rate)).collect()
-                });
+                let next: Option<Vec<(NodeId, f64)>> = stages
+                    .get(i + 1)
+                    .map(|nxt| nxt.placements.iter().map(|p| (p.node, p.rate)).collect());
                 for p in &stage.placements {
                     let svc = self.catalog.get(stage.service);
                     let comp = CompState {
@@ -807,11 +814,7 @@ impl EngineState {
                         arrivals: RateEstimator::new(self.config.monitor_window.max(2)),
                         exec_est: Ewma::new(0.2),
                         downstream: next.clone().map(|t| {
-                            let chunk = self.stage_chunk(
-                                &t,
-                                stages[i + 1].service,
-                                req.unit_bits,
-                            );
+                            let chunk = self.stage_chunk(&t, stages[i + 1].service, req.unit_bits);
                             ChunkedWrr::new(Wrr::new(t), chunk)
                         }),
                     };
@@ -941,11 +944,7 @@ impl EngineState {
         if unit.layer >= stages {
             // Destination delivery (§4.2 metrics).
             debug_assert_eq!(node, self.apps[unit.app].req.destination);
-            self.apps[unit.app].trackers[unit.substream].on_delivery(
-                unit.seq,
-                unit.created,
-                now,
-            );
+            self.apps[unit.app].trackers[unit.substream].on_delivery(unit.seq, unit.created, now);
             self.nodes[node].outcomes.record(false);
             return;
         }
@@ -1290,9 +1289,7 @@ mod tests {
             .build();
         // Two branches at 15 du/s each: stream period 33 ms < exec 40 ms,
         // so the chunk must shrink well below the default of 16.
-        let chunk = engine
-            .state
-            .stage_chunk(&[(0, 15.0), (1, 15.0)], 0, 8192);
+        let chunk = engine.state.stage_chunk(&[(0, 15.0), (1, 15.0)], 0, 8192);
         assert!(chunk < 8, "chunk {chunk} too large for a 40 ms service");
         assert!(chunk >= 1);
     }

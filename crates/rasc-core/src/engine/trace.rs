@@ -114,9 +114,7 @@ impl Trace {
                 TraceEvent::AppStarted { app } => ("app_started", format!("app={app}")),
                 TraceEvent::AppStopped { app } => ("app_stopped", format!("app={app}")),
                 TraceEvent::NodeFailed { node } => ("node_failed", format!("node={node}")),
-                TraceEvent::Recomposed { new_app } => {
-                    ("recomposed", format!("new_app={new_app}"))
-                }
+                TraceEvent::Recomposed { new_app } => ("recomposed", format!("new_app={new_app}")),
             };
             out.push_str(&format!("{:.6},{},{}\n", t.as_secs_f64(), name, detail));
         }

@@ -268,7 +268,7 @@ mod tests {
         tr.on_delivery(0, t(0), t(10));
         tr.on_delivery(1, t(100), t(310)); // 300 ms after prev: late
         assert_eq!(tr.timely(), 1); // only the first
-        // Jitter of the late unit: 310 - (10 + 100) = 200 ms.
+                                    // Jitter of the late unit: 310 - (10 + 100) = 200 ms.
         assert!((tr.jitter().max().unwrap() - 200.0).abs() < 1e-9);
     }
 

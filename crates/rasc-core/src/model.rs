@@ -4,7 +4,6 @@
 use desim::{SimDuration, SimRng};
 use simnet::NodeId;
 
-
 /// Identifies a service (a processing *function*, e.g. "transcode").
 pub type ServiceId = usize;
 
@@ -267,10 +266,8 @@ mod tests {
             assert_eq!(x.name, y.name);
         }
         assert!(a.iter().all(|s| s.rate_ratio == 1.0));
-        assert!(a
-            .iter()
-            .all(|s| s.exec_time >= SimDuration::from_millis(1)
-                && s.exec_time <= SimDuration::from_millis(8)));
+        assert!(a.iter().all(|s| s.exec_time >= SimDuration::from_millis(1)
+            && s.exec_time <= SimDuration::from_millis(8)));
     }
 
     #[test]
@@ -315,7 +312,10 @@ mod tests {
                 },
                 Stage {
                     service: 1,
-                    placements: vec![Placement { node: 3, rate: 10.0 }],
+                    placements: vec![Placement {
+                        node: 3,
+                        rate: 10.0,
+                    }],
                 },
             ]],
         };

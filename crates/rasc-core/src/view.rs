@@ -14,6 +14,16 @@
 use monitor::ResourceVector;
 use simnet::{NodeId, Topology};
 
+/// One undo-log record: the pre-mutation value of the field it names.
+/// Snapshots (not arithmetic inverses) are required because
+/// [`ResourceVector::consume`] clamps at zero, which a release cannot
+/// invert exactly.
+#[derive(Clone, Debug)]
+enum Undo {
+    Avail(NodeId, ResourceVector),
+    Cpu(NodeId, f64),
+}
+
 /// Per-node availability snapshot used by the composers.
 #[derive(Clone, Debug)]
 pub struct SystemView {
@@ -31,6 +41,13 @@ pub struct SystemView {
     /// Most recent drop ratio per node (0..=1), from the monitoring
     /// windows.
     drop_ratio: Vec<f64>,
+    /// Undo log of an open transaction (see [`begin_transaction`]
+    /// (Self::begin_transaction)); empty and inactive outside one. The
+    /// buffer is retained across transactions so the all-or-nothing
+    /// composition path allocates nothing in steady state.
+    journal: Vec<Undo>,
+    /// Whether reservation mutations are currently being journaled.
+    recording: bool,
 }
 
 impl SystemView {
@@ -59,6 +76,59 @@ impl SystemView {
             cpu_avail: vec![f64::INFINITY; topology.len()],
             cpu_cap: vec![f64::INFINITY; topology.len()],
             cap,
+            journal: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// Opens a reservation transaction: every subsequent mutation of the
+    /// availability state (`avail` / `cpu_avail`) is journaled until the
+    /// transaction is [committed](Self::commit_transaction) or
+    /// [rolled back](Self::rollback_transaction).
+    ///
+    /// This replaces the composers' former whole-view `clone()` backup:
+    /// a failed composition undoes only the handful of nodes it touched
+    /// instead of copying (and restoring) every node's vectors.
+    /// Transactions do not nest.
+    pub fn begin_transaction(&mut self) {
+        assert!(!self.recording, "transaction already open");
+        self.recording = true;
+    }
+
+    /// Closes the open transaction, keeping all mutations.
+    pub fn commit_transaction(&mut self) {
+        assert!(self.recording, "no open transaction");
+        self.recording = false;
+        self.journal.clear();
+    }
+
+    /// Closes the open transaction, restoring every journaled field to
+    /// its pre-transaction value (applied in reverse mutation order).
+    pub fn rollback_transaction(&mut self) {
+        assert!(self.recording, "no open transaction");
+        self.recording = false;
+        while let Some(entry) = self.journal.pop() {
+            match entry {
+                Undo::Avail(v, rv) => self.avail[v] = rv,
+                Undo::Cpu(v, c) => self.cpu_avail[v] = c,
+            }
+        }
+    }
+
+    /// Whether a reservation transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.recording
+    }
+
+    fn log_avail(&mut self, v: NodeId) {
+        if self.recording {
+            self.journal.push(Undo::Avail(v, self.avail[v].clone()));
+        }
+    }
+
+    fn log_cpu(&mut self, v: NodeId) {
+        if self.recording {
+            self.journal.push(Undo::Cpu(v, self.cpu_avail[v]));
         }
     }
 
@@ -66,12 +136,17 @@ impl SystemView {
     /// processing capacity (already headroom-scaled by the caller).
     pub fn set_cpu_capacity(&mut self, v: NodeId, cores: f64) {
         assert!(cores >= 0.0 && cores.is_finite(), "invalid CPU capacity");
+        debug_assert!(
+            !self.recording,
+            "capacity reconfiguration inside a reservation transaction"
+        );
         self.cpu_cap[v] = cores;
         self.cpu_avail[v] = cores;
     }
 
     /// Deducts measured/committed CPU usage (in cores) from `v`.
     pub fn consume_measured_cpu(&mut self, v: NodeId, cores_in_use: f64) {
+        self.log_cpu(v);
         if self.cpu_avail[v].is_finite() {
             self.cpu_avail[v] = (self.cpu_avail[v] - cores_in_use.max(0.0)).max(0.0);
         }
@@ -156,6 +231,7 @@ impl SystemView {
     /// Reserves bandwidth on `v` for a component ingesting at `rate`
     /// du/s. `rate_ratio` scales the output-side reservation.
     pub fn reserve_component(&mut self, v: NodeId, unit_bits: u64, rate_ratio: f64, rate: f64) {
+        self.log_avail(v);
         let per_unit = Self::per_unit(unit_bits, rate_ratio);
         self.avail[v].consume(&per_unit, rate);
     }
@@ -163,6 +239,7 @@ impl SystemView {
     /// Reserves the CPU of a component processing `rate` du/s at
     /// `exec_secs` each. No-op when `v`'s CPU is unconstrained.
     pub fn reserve_cpu(&mut self, v: NodeId, exec_secs: f64, rate: f64) {
+        self.log_cpu(v);
         if self.cpu_avail[v].is_finite() {
             self.cpu_avail[v] = (self.cpu_avail[v] - exec_secs * rate).max(0.0);
         }
@@ -170,6 +247,7 @@ impl SystemView {
 
     /// Releases a component's reservation (teardown).
     pub fn release_component(&mut self, v: NodeId, unit_bits: u64, rate_ratio: f64, rate: f64) {
+        self.log_avail(v);
         let per_unit = Self::per_unit(unit_bits, rate_ratio);
         self.avail[v].release(&per_unit, rate);
     }
@@ -180,16 +258,19 @@ impl SystemView {
     /// continuously monitoring the rates of incoming and outgoing data
     /// units".
     pub fn consume_measured(&mut self, v: NodeId, in_bps: f64, out_bps: f64) {
+        self.log_avail(v);
         self.avail[v].consume(&ResourceVector::bandwidth(in_bps, out_bps), 1.0);
     }
 
     /// Reserves source-side output bandwidth (the origin emits at `rate`).
     pub fn reserve_source(&mut self, v: NodeId, unit_bits: u64, rate: f64) {
+        self.log_avail(v);
         self.avail[v].consume(&ResourceVector::bandwidth(0.0, unit_bits as f64), rate);
     }
 
     /// Reserves destination-side input bandwidth.
     pub fn reserve_destination(&mut self, v: NodeId, unit_bits: u64, rate: f64) {
+        self.log_avail(v);
         self.avail[v].consume(&ResourceVector::bandwidth(unit_bits as f64, 0.0), rate);
     }
 
@@ -275,5 +356,64 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_ratio_rejected() {
         view().set_drop_ratio(0, 1.5);
+    }
+
+    /// Rollback must restore the exact pre-transaction state even when a
+    /// reservation clamped at zero (an arithmetic release could not).
+    #[test]
+    fn rollback_restores_exactly_despite_clamping() {
+        let mut v = view();
+        v.reserve_component(0, 8192, 1.0, 10.0);
+        let before_in = v.in_rate_capacity(0, 8192);
+        let before_out = v.out_rate_capacity(1, 8192);
+
+        v.begin_transaction();
+        assert!(v.in_transaction());
+        // Over-reserve far past capacity: avail clamps at 0.
+        v.reserve_component(0, 8192, 1.0, 1e9);
+        v.reserve_source(1, 8192, 1e9);
+        v.reserve_destination(1, 8192, 5.0);
+        v.consume_measured(0, 123.0, 456.0);
+        assert_eq!(v.in_rate_capacity(0, 8192), 0.0);
+        v.rollback_transaction();
+
+        assert!(!v.in_transaction());
+        assert!((v.in_rate_capacity(0, 8192) - before_in).abs() < 1e-12);
+        assert!((v.out_rate_capacity(1, 8192) - before_out).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_keeps_reservations() {
+        let mut v = view();
+        v.begin_transaction();
+        v.reserve_component(0, 8192, 1.0, 40.0);
+        v.commit_transaction();
+        assert!((v.max_rate(0, 8192, 1.0) - (1_000_000.0 / 8192.0 - 40.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_reservations_roll_back() {
+        let mut v = view();
+        v.set_cpu_capacity(0, 4.0);
+        v.begin_transaction();
+        v.reserve_cpu(0, 0.5, 6.0);
+        v.consume_measured_cpu(0, 0.5);
+        assert!((v.cpu_avail(0) - 0.5).abs() < 1e-12);
+        v.rollback_transaction();
+        assert!((v.cpu_avail(0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already open")]
+    fn transactions_do_not_nest() {
+        let mut v = view();
+        v.begin_transaction();
+        v.begin_transaction();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open transaction")]
+    fn rollback_without_begin_panics() {
+        view().rollback_transaction();
     }
 }

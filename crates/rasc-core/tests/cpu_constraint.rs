@@ -130,8 +130,7 @@ fn constrained_composition_outperforms_blind_admission() {
 #[test]
 fn cpu_capacity_releases_on_teardown() {
     let mut e = engine(Some(1.0));
-    let short = ServiceRequest::chain(&[0], 25.0, 0, 3)
-        .with_lifetime(SimDuration::from_secs(4));
+    let short = ServiceRequest::chain(&[0], 25.0, 0, 3).with_lifetime(SimDuration::from_secs(4));
     e.submit(short).unwrap();
     e.run_for_secs(2.0);
     // While running, an identical request does not fit.

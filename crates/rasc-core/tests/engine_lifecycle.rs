@@ -26,8 +26,7 @@ fn small_engine() -> Engine {
 #[test]
 fn finite_lifetime_app_stops_emitting() {
     let mut engine = small_engine();
-    let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 5)
-        .with_lifetime(SimDuration::from_secs(5));
+    let req = ServiceRequest::chain(&[0, 1], 10.0, 0, 5).with_lifetime(SimDuration::from_secs(5));
     engine.submit(req).unwrap();
     engine.run_for_secs(30.0);
     let r = engine.report();
@@ -82,8 +81,8 @@ fn teardown_releases_capacity_for_later_requests() {
 #[test]
 fn in_flight_units_after_teardown_are_accounted() {
     let mut engine = small_engine();
-    let req = ServiceRequest::chain(&[0, 1, 2], 20.0, 0, 5)
-        .with_lifetime(SimDuration::from_secs(3));
+    let req =
+        ServiceRequest::chain(&[0, 1, 2], 20.0, 0, 5).with_lifetime(SimDuration::from_secs(3));
     engine.submit(req).unwrap();
     engine.run_for_secs(20.0);
     let r = engine.report();
@@ -102,8 +101,7 @@ fn in_flight_units_after_teardown_are_accounted() {
 #[test]
 fn stopping_twice_is_idempotent() {
     let mut engine = small_engine();
-    let req = ServiceRequest::chain(&[0], 10.0, 0, 5)
-        .with_lifetime(SimDuration::from_millis(1500));
+    let req = ServiceRequest::chain(&[0], 10.0, 0, 5).with_lifetime(SimDuration::from_millis(1500));
     engine.submit(req).unwrap();
     // Run far past the lifetime twice; the second pass must not panic
     // or double-release.

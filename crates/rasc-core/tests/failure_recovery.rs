@@ -104,9 +104,7 @@ fn endpoint_failure_stops_the_app_without_recomposition() {
 #[test]
 fn failing_a_bystander_changes_nothing_for_the_app() {
     let mut e = engine();
-    let app = e
-        .submit(ServiceRequest::chain(&[0], 10.0, 6, 7))
-        .unwrap();
+    let app = e.submit(ServiceRequest::chain(&[0], 10.0, 6, 7)).unwrap();
     let used = hosts_of(&e, app);
     let bystander = (0..6).find(|v| !used.contains(v)).expect("a free provider");
     e.fail_node(bystander);
@@ -119,7 +117,8 @@ fn failing_a_bystander_changes_nothing_for_the_app() {
 #[test]
 fn double_failure_is_idempotent_and_accounted() {
     let mut e = engine();
-    e.submit(ServiceRequest::chain(&[0, 1], 12.0, 6, 7)).unwrap();
+    e.submit(ServiceRequest::chain(&[0, 1], 12.0, 6, 7))
+        .unwrap();
     e.run_for_secs(3.0);
     e.fail_node(0);
     let after_first = e.report().recompositions;
@@ -135,7 +134,8 @@ fn double_failure_is_idempotent_and_accounted() {
 #[test]
 fn cascading_failures_leave_a_working_system() {
     let mut e = engine();
-    e.submit(ServiceRequest::chain(&[0, 1], 10.0, 6, 7)).unwrap();
+    e.submit(ServiceRequest::chain(&[0, 1], 10.0, 6, 7))
+        .unwrap();
     e.run_for_secs(3.0);
     // Fail half the providers one by one; each time, either recompose or
     // reject — never panic, never corrupt accounting.

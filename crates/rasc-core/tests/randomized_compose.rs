@@ -1,9 +1,10 @@
-//! Property tests over the composition algorithms on random instances:
-//! structural validity, rate conservation, rollback discipline, and the
-//! dominance property (min-cost admits everything single-placement can).
+//! Seeded randomized tests over the composition algorithms on random
+//! instances: structural validity, rate conservation, rollback
+//! discipline, and the dominance property (min-cost admits everything
+//! single-placement can). Cases are generated from `desim::SimRng` and
+//! reproduce from the case number in the assertion message.
 
 use desim::SimRng;
-use proptest::prelude::*;
 use rasc_core::compose::{
     Composer, ComposerKind, GreedyComposer, MinCostComposer, ProviderMap, RandomComposer,
 };
@@ -21,32 +22,32 @@ struct Instance {
     drop_ratios: Vec<f64>,
 }
 
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    (4usize..12, 1usize..4).prop_flat_map(|(nodes, services)| {
-        let bw = proptest::collection::vec(100.0f64..2000.0, nodes);
-        let provider_sets = proptest::collection::vec(
-            proptest::collection::vec(0..nodes.saturating_sub(2), 1..nodes),
-            services,
-        );
-        let chain = proptest::collection::vec(0..services, 1..=services.min(3));
-        let drops = proptest::collection::vec(0.0f64..0.5, nodes);
-        (bw, provider_sets, chain, 1.0f64..80.0, drops).prop_map(
-            move |(bw_kbps, mut providers, chain, rate, drop_ratios)| {
-                for p in &mut providers {
-                    p.sort_unstable();
-                    p.dedup();
-                }
-                Instance {
-                    nodes,
-                    bw_kbps,
-                    providers,
-                    chain,
-                    rate,
-                    drop_ratios,
-                }
-            },
-        )
-    })
+fn random_instance(rng: &mut SimRng) -> Instance {
+    let nodes = rng.range_usize(4, 12);
+    let services = rng.range_usize(1, 4);
+    let bw_kbps: Vec<f64> = (0..nodes).map(|_| rng.range_f64(100.0, 2000.0)).collect();
+    let providers: Vec<Vec<usize>> = (0..services)
+        .map(|_| {
+            let mut p: Vec<usize> = (0..rng.range_usize(1, nodes))
+                .map(|_| rng.range_usize(0, nodes.saturating_sub(2).max(1)))
+                .collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        })
+        .collect();
+    let chain: Vec<usize> = (0..rng.range_usize(1, services.min(3) + 1))
+        .map(|_| rng.range_usize(0, services))
+        .collect();
+    let drop_ratios: Vec<f64> = (0..nodes).map(|_| rng.range_f64(0.0, 0.5)).collect();
+    Instance {
+        nodes,
+        bw_kbps,
+        providers,
+        chain,
+        rate: rng.range_f64(1.0, 80.0),
+        drop_ratios,
+    }
 }
 
 fn build(inst: &Instance) -> (ServiceCatalog, SystemView, ProviderMap, ServiceRequest) {
@@ -80,14 +81,14 @@ fn all_composers() -> Vec<(ComposerKind, Box<dyn Composer>)> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// On success: every placement is a provider, every stage's rates
-    /// sum to the requirement, and reservations landed in the view. On
-    /// failure: the view is untouched.
-    #[test]
-    fn compositions_are_valid_or_rolled_back(inst in instance_strategy()) {
+/// On success: every placement is a provider, every stage's rates
+/// sum to the requirement, and reservations landed in the view. On
+/// failure: the view is untouched.
+#[test]
+fn compositions_are_valid_or_rolled_back() {
+    let mut meta = SimRng::new(0xc09e);
+    for case in 0..200u32 {
+        let inst = random_instance(&mut meta);
         for (kind, mut composer) in all_composers() {
             let (catalog, mut view, providers, req) = build(&inst);
             let before = view.clone();
@@ -95,42 +96,55 @@ proptest! {
             match composer.compose(&req, &catalog, &providers, &mut view, &mut rng) {
                 Ok(graph) => {
                     for (l, stages) in graph.substreams.iter().enumerate() {
-                        prop_assert_eq!(stages.len(), req.graph.substreams[l].services.len());
+                        assert_eq!(
+                            stages.len(),
+                            req.graph.substreams[l].services.len(),
+                            "case {case}"
+                        );
                         for stage in stages {
                             let total = stage.total_rate();
-                            prop_assert!(
+                            assert!(
                                 (total - req.rates[l]).abs() < 1e-2,
-                                "{:?}: stage rate {} vs required {}", kind, total, req.rates[l]
+                                "case {case}: {kind:?}: stage rate {total} vs required {}",
+                                req.rates[l]
                             );
                             for p in &stage.placements {
-                                prop_assert!(
+                                assert!(
                                     providers[&stage.service].contains(&p.node),
-                                    "{:?} placed on non-provider", kind
+                                    "case {case}: {kind:?} placed on non-provider"
                                 );
-                                prop_assert!(p.rate > 0.0);
+                                assert!(p.rate > 0.0, "case {case}");
                             }
                         }
                     }
                     // Reservations took effect somewhere.
                     let touched = (0..inst.nodes).any(|v| view.avail(v) != before.avail(v));
-                    prop_assert!(touched, "{:?}: success without reservations", kind);
+                    assert!(
+                        touched,
+                        "case {case}: {kind:?}: success without reservations"
+                    );
                 }
                 Err(_) => {
                     for v in 0..inst.nodes {
-                        prop_assert_eq!(
-                            view.avail(v), before.avail(v),
-                            "{:?}: view mutated on failure", kind
+                        assert_eq!(
+                            view.avail(v),
+                            before.avail(v),
+                            "case {case}: {kind:?}: view mutated on failure"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// Dominance: whenever greedy or random can compose a request,
-    /// min-cost can too (a single placement is a feasible flow).
-    #[test]
-    fn mincost_dominates_single_placement(inst in instance_strategy()) {
+/// Dominance: whenever greedy or random can compose a request,
+/// min-cost can too (a single placement is a feasible flow).
+#[test]
+fn mincost_dominates_single_placement() {
+    let mut meta = SimRng::new(0xd0a1);
+    for case in 0..200u32 {
+        let inst = random_instance(&mut meta);
         let (catalog, view, providers, req) = build(&inst);
         let mut rng = SimRng::new(9);
         let greedy_ok = GreedyComposer
@@ -143,17 +157,21 @@ proptest! {
             .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng)
             .is_ok();
         if greedy_ok || random_ok {
-            prop_assert!(
+            assert!(
                 mincost_ok,
-                "min-cost rejected a request a baseline admitted"
+                "case {case}: min-cost rejected a request a baseline admitted"
             );
         }
     }
+}
 
-    /// Min-cost compositions route through the cheapest viable hosts:
-    /// the rate-weighted drop cost of its graph never exceeds greedy's.
-    #[test]
-    fn mincost_cost_never_exceeds_greedy(inst in instance_strategy()) {
+/// Min-cost compositions route through the cheapest viable hosts:
+/// the rate-weighted drop cost of its graph never exceeds greedy's.
+#[test]
+fn mincost_cost_never_exceeds_greedy() {
+    let mut meta = SimRng::new(0x90dc);
+    for case in 0..200u32 {
+        let inst = random_instance(&mut meta);
         let (catalog, view, providers, req) = build(&inst);
         let mut rng = SimRng::new(11);
         let cost_of = |graph: &rasc_core::model::ExecutionGraph, v: &SystemView| {
@@ -166,17 +184,22 @@ proptest! {
                 .sum::<f64>()
         };
         let g = GreedyComposer.compose(&req, &catalog, &providers, &mut view.clone(), &mut rng);
-        let m = MinCostComposer::default()
-            .compose(&req, &catalog, &providers, &mut view.clone(), &mut rng);
+        let m = MinCostComposer::default().compose(
+            &req,
+            &catalog,
+            &providers,
+            &mut view.clone(),
+            &mut rng,
+        );
         if let (Ok(gg), Ok(mg)) = (g, m) {
             let (gc, mc) = (cost_of(&gg, &view), cost_of(&mg, &view));
             // Min-cost also prices utilization and latency; allow those
             // weaker terms to trade against at most a whisker of drop
             // cost (both secondary weights are ≤ 1/10 of a drop unit,
             // and rounding to milli-units adds quantization slack).
-            prop_assert!(
+            assert!(
                 mc <= gc + 0.15 * req.rates[0].max(1.0),
-                "min-cost drop cost {} far above greedy {}", mc, gc
+                "case {case}: min-cost drop cost {mc} far above greedy {gc}"
             );
         }
     }

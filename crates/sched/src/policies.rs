@@ -67,9 +67,7 @@ impl<T> Bag<T> {
         let mut best = 0;
         for i in 1..self.items.len() {
             let (ka, kb) = (key(&self.items[i]), key(&self.items[best]));
-            if ka < kb
-                || (ka == kb && self.items[i].meta.arrival < self.items[best].meta.arrival)
-            {
+            if ka < kb || (ka == kb && self.items[i].meta.arrival < self.items[best].meta.arrival) {
                 best = i;
             }
         }

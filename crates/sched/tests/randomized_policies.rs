@@ -1,8 +1,9 @@
-//! Property tests over the scheduling policies: selection correctness,
-//! drop discipline, capacity bounds, and work conservation.
+//! Seeded randomized tests over the scheduling policies: selection
+//! correctness, drop discipline, capacity bounds, and work conservation.
+//! Cases are generated from `desim::SimRng` and reproduce from the case
+//! number in the assertion message.
 
-use desim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use desim::{SimDuration, SimRng, SimTime};
 use sched::{make_scheduler, Job, JobMeta, Policy};
 
 #[derive(Clone, Debug)]
@@ -12,14 +13,14 @@ struct JobSpec {
     exec_ms: u64,
 }
 
-fn job_strategy() -> impl Strategy<Value = JobSpec> {
-    (0u64..1000, 1u64..500, 1u64..100).prop_map(|(arrival_ms, rel_deadline_ms, exec_ms)| {
-        JobSpec {
-            arrival_ms,
-            rel_deadline_ms,
-            exec_ms,
-        }
-    })
+fn random_specs(rng: &mut SimRng) -> Vec<JobSpec> {
+    (0..rng.range_usize(1, 40))
+        .map(|_| JobSpec {
+            arrival_ms: rng.range_u64(0, 1000),
+            rel_deadline_ms: rng.range_u64(1, 500),
+            exec_ms: rng.range_u64(1, 100),
+        })
+        .collect()
 }
 
 fn to_job(id: usize, s: &JobSpec) -> Job<usize> {
@@ -33,16 +34,14 @@ fn to_job(id: usize, s: &JobSpec) -> Job<usize> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Work conservation: across all policies, every enqueued job is
-    /// eventually either chosen or dropped — never lost.
-    #[test]
-    fn no_job_is_lost(
-        specs in proptest::collection::vec(job_strategy(), 1..40),
-        now_ms in 0u64..2000,
-    ) {
+/// Work conservation: across all policies, every enqueued job is
+/// eventually either chosen or dropped — never lost.
+#[test]
+fn no_job_is_lost() {
+    let mut rng = SimRng::new(0x105e);
+    for case in 0..256u32 {
+        let specs = random_specs(&mut rng);
+        let now = SimTime::from_millis(rng.range_u64(0, 2000));
         for policy in [Policy::Llf, Policy::Edf, Policy::Fifo] {
             let mut s = make_scheduler::<usize>(policy, 64);
             let mut enqueued = Vec::new();
@@ -51,7 +50,6 @@ proptest! {
                     enqueued.push(i);
                 }
             }
-            let now = SimTime::from_millis(now_ms);
             let mut seen = Vec::new();
             loop {
                 let out = s.dispatch(now);
@@ -63,18 +61,19 @@ proptest! {
             }
             seen.sort_unstable();
             enqueued.sort_unstable();
-            prop_assert_eq!(seen, enqueued, "{:?} lost a job", policy);
+            assert_eq!(seen, enqueued, "case {case}: {policy:?} lost a job");
         }
     }
+}
 
-    /// LLF/EDF never *choose* an unschedulable job, and everything they
-    /// drop is genuinely hopeless at the dispatch instant.
-    #[test]
-    fn deadline_policies_drop_exactly_the_hopeless(
-        specs in proptest::collection::vec(job_strategy(), 1..40),
-        now_ms in 0u64..2000,
-    ) {
-        let now = SimTime::from_millis(now_ms);
+/// LLF/EDF never *choose* an unschedulable job, and everything they
+/// drop is genuinely hopeless at the dispatch instant.
+#[test]
+fn deadline_policies_drop_exactly_the_hopeless() {
+    let mut rng = SimRng::new(0xd20b);
+    for case in 0..256u32 {
+        let specs = random_specs(&mut rng);
+        let now = SimTime::from_millis(rng.range_u64(0, 2000));
         for policy in [Policy::Llf, Policy::Edf] {
             let mut s = make_scheduler::<usize>(policy, 64);
             for (i, spec) in specs.iter().enumerate() {
@@ -82,22 +81,29 @@ proptest! {
             }
             let out = s.dispatch(now);
             for d in &out.dropped {
-                prop_assert!(!d.meta.schedulable(now), "{:?} dropped a viable job", policy);
+                assert!(
+                    !d.meta.schedulable(now),
+                    "case {case}: {policy:?} dropped a viable job"
+                );
             }
             if let Some(j) = &out.chosen {
-                prop_assert!(j.meta.schedulable(now), "{:?} chose a hopeless job", policy);
+                assert!(
+                    j.meta.schedulable(now),
+                    "case {case}: {policy:?} chose a hopeless job"
+                );
             }
         }
     }
+}
 
-    /// LLF picks the minimum laxity among schedulable jobs; EDF the
-    /// minimum deadline.
-    #[test]
-    fn selection_minimizes_its_criterion(
-        specs in proptest::collection::vec(job_strategy(), 1..40),
-        now_ms in 0u64..2000,
-    ) {
-        let now = SimTime::from_millis(now_ms);
+/// LLF picks the minimum laxity among schedulable jobs; EDF the
+/// minimum deadline.
+#[test]
+fn selection_minimizes_its_criterion() {
+    let mut rng = SimRng::new(0x5e1);
+    for case in 0..256u32 {
+        let specs = random_specs(&mut rng);
+        let now = SimTime::from_millis(rng.range_u64(0, 2000));
         let viable: Vec<(usize, &JobSpec)> = specs
             .iter()
             .enumerate()
@@ -113,9 +119,12 @@ proptest! {
                 .iter()
                 .map(|(i, spec)| to_job(*i, spec).meta.laxity(now))
                 .fold(f64::INFINITY, f64::min);
-            prop_assert!((chosen.meta.laxity(now) - min_lax).abs() < 1e-12);
+            assert!(
+                (chosen.meta.laxity(now) - min_lax).abs() < 1e-12,
+                "case {case}"
+            );
         } else {
-            prop_assert!(viable.is_empty());
+            assert!(viable.is_empty(), "case {case}");
         }
         // EDF
         let mut edf = make_scheduler::<usize>(Policy::Edf, 64);
@@ -128,13 +137,17 @@ proptest! {
                 .map(|(i, spec)| to_job(*i, spec).meta.deadline)
                 .min()
                 .unwrap();
-            prop_assert_eq!(chosen.meta.deadline, min_dl);
+            assert_eq!(chosen.meta.deadline, min_dl, "case {case}");
         }
     }
+}
 
-    /// FIFO emits in exact enqueue order and never drops at dispatch.
-    #[test]
-    fn fifo_is_fifo(specs in proptest::collection::vec(job_strategy(), 1..40)) {
+/// FIFO emits in exact enqueue order and never drops at dispatch.
+#[test]
+fn fifo_is_fifo() {
+    let mut rng = SimRng::new(0xf1f0);
+    for case in 0..256u32 {
+        let specs = random_specs(&mut rng);
         let mut s = make_scheduler::<usize>(Policy::Fifo, 64);
         let mut order = Vec::new();
         for (i, spec) in specs.iter().enumerate() {
@@ -145,21 +158,23 @@ proptest! {
         let mut got = Vec::new();
         loop {
             let out = s.dispatch(SimTime::from_secs(1_000));
-            prop_assert!(out.dropped.is_empty());
+            assert!(out.dropped.is_empty(), "case {case}");
             match out.chosen {
                 Some(j) => got.push(j.payload),
                 None => break,
             }
         }
-        prop_assert_eq!(got, order);
+        assert_eq!(got, order, "case {case}");
     }
+}
 
-    /// Capacity is a hard bound for every policy.
-    #[test]
-    fn capacity_is_respected(
-        cap in 1usize..16,
-        specs in proptest::collection::vec(job_strategy(), 1..40),
-    ) {
+/// Capacity is a hard bound for every policy.
+#[test]
+fn capacity_is_respected() {
+    let mut rng = SimRng::new(0xcab);
+    for case in 0..256u32 {
+        let cap = rng.range_usize(1, 16);
+        let specs = random_specs(&mut rng);
         for policy in [Policy::Llf, Policy::Edf, Policy::Fifo] {
             let mut s = make_scheduler::<usize>(policy, cap);
             let mut accepted = 0usize;
@@ -167,9 +182,9 @@ proptest! {
                 if s.enqueue(to_job(i, spec)).is_ok() {
                     accepted += 1;
                 }
-                prop_assert!(s.len() <= cap);
+                assert!(s.len() <= cap, "case {case}");
             }
-            prop_assert_eq!(accepted, specs.len().min(cap));
+            assert_eq!(accepted, specs.len().min(cap), "case {case}");
         }
     }
 }

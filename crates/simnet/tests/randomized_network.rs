@@ -1,0 +1,209 @@
+//! Seeded randomized tests for the network substrate: conservation of
+//! messages, monotone NIC behaviour, and topology invariants. Cases are
+//! generated from `desim::SimRng` and reproduce from the case number in
+//! the assertion message.
+
+use desim::{SimDuration, SimRng, SimTime};
+use simnet::{kbps, Network, NetworkConfig, Topology};
+
+fn quiet(seed: u64) -> NetworkConfig {
+    NetworkConfig {
+        latency_jitter_sigma: 0.0,
+        congestion_jitter: 0.0,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Every send is accounted exactly once: delivered, dropped at the
+/// sender, or dropped at the receiver — and the per-node counters
+/// agree with the outcome tally.
+#[test]
+fn message_accounting_balances() {
+    let mut rng = SimRng::new(0xacc7);
+    for case in 0..128u32 {
+        let n = rng.range_usize(2, 8);
+        let bw = rng.range_f64(100.0, 2_000.0);
+        let mut sends: Vec<(u64, usize, usize, u64)> = (0..rng.range_usize(1, 200))
+            .map(|_| {
+                (
+                    rng.range_u64(0, 5_000),
+                    rng.range_usize(0, 8),
+                    rng.range_usize(0, 8),
+                    rng.range_u64(1, 100_000),
+                )
+            })
+            .collect();
+        sends.sort_by_key(|&(t, ..)| t);
+        let topo = Topology::uniform(n, kbps(bw), SimDuration::from_millis(20));
+        let mut net = Network::new(topo, quiet(1));
+        let (mut delivered, mut s_drop, mut r_drop) = (0u64, 0u64, 0u64);
+        for (t_ms, src, dst, bits) in sends {
+            let (src, dst) = (src % n, dst % n);
+            match net.send(SimTime::from_millis(t_ms), src, dst, bits) {
+                simnet::SendOutcome::Delivered(at) => {
+                    assert!(
+                        at >= SimTime::from_millis(t_ms),
+                        "case {case}: delivery in the past"
+                    );
+                    delivered += 1;
+                }
+                simnet::SendOutcome::Dropped(simnet::DropReason::SenderOverflow) => s_drop += 1,
+                simnet::SendOutcome::Dropped(simnet::DropReason::ReceiverOverflow) => r_drop += 1,
+            }
+        }
+        let total_in: u64 = (0..n).map(|v| net.stats(v).msgs_in).sum();
+        let total_out: u64 = (0..n).map(|v| net.stats(v).msgs_out).sum();
+        let drops_out: u64 = (0..n).map(|v| net.stats(v).drops_out).sum();
+        let drops_in: u64 = (0..n).map(|v| net.stats(v).drops_in).sum();
+        assert_eq!(total_in, delivered, "case {case}");
+        assert_eq!(total_out, delivered + r_drop, "case {case}");
+        assert_eq!(drops_out, s_drop, "case {case}");
+        assert_eq!(drops_in, r_drop, "case {case}");
+    }
+}
+
+/// Back-to-back messages between one pair arrive in FIFO order
+/// (without jitter, the pipe preserves ordering).
+#[test]
+fn single_path_is_fifo_without_jitter() {
+    let mut rng = SimRng::new(0xf1f0);
+    for case in 0..128u32 {
+        let bw = rng.range_f64(200.0, 2_000.0);
+        let sizes: Vec<u64> = (0..rng.range_usize(2, 50))
+            .map(|_| rng.range_u64(1, 50_000))
+            .collect();
+        let topo = Topology::uniform(2, kbps(bw), SimDuration::from_millis(15));
+        let mut net = Network::new(
+            topo,
+            NetworkConfig {
+                max_nic_backlog: SimDuration::from_secs(3600),
+                ..quiet(2)
+            },
+        );
+        let mut last = SimTime::ZERO;
+        for bits in sizes {
+            match net.send(SimTime::ZERO, 0, 1, bits) {
+                simnet::SendOutcome::Delivered(at) => {
+                    assert!(at >= last, "case {case}: reordered without jitter");
+                    last = at;
+                }
+                other => panic!("case {case}: unbounded queue dropped: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Delivery time decomposes into tx + latency + rx for an idle pair.
+#[test]
+fn delivery_time_decomposition() {
+    let mut rng = SimRng::new(0xdec0);
+    for case in 0..128u32 {
+        let bw = rng.range_f64(100.0, 5_000.0);
+        let lat_ms = rng.range_u64(1, 200);
+        let bits = rng.range_u64(1, 500_000);
+        let topo = Topology::uniform(2, kbps(bw), SimDuration::from_millis(lat_ms));
+        let mut net = Network::new(
+            topo,
+            NetworkConfig {
+                max_nic_backlog: SimDuration::from_secs(3600),
+                ..quiet(3)
+            },
+        );
+        match net.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(at) => {
+                let tx = bits as f64 / kbps(bw);
+                let expect = 2.0 * tx + lat_ms as f64 / 1_000.0;
+                assert!(
+                    (at.as_secs_f64() - expect).abs() < 1e-6,
+                    "case {case}: got {} expected {}",
+                    at.as_secs_f64(),
+                    expect
+                );
+            }
+            other => panic!("case {case}: {other:?}"),
+        }
+    }
+}
+
+/// Heterogeneous topologies keep every band's nodes inside their
+/// declared bandwidth range and latencies symmetric.
+#[test]
+fn heterogeneous_bands_hold() {
+    let mut rng = SimRng::new(0x8e7e);
+    for case in 0..128u32 {
+        let seed = rng.next_u64();
+        let a = rng.range_usize(1, 6);
+        let b = rng.range_usize(1, 6);
+        let topo = Topology::heterogeneous(
+            &[
+                (a, kbps(100.0), kbps(200.0)),
+                (b, kbps(1_000.0), kbps(4_000.0)),
+            ],
+            seed,
+        );
+        assert_eq!(topo.len(), a + b, "case {case}");
+        for v in 0..a {
+            let s = topo.spec(v);
+            assert!(
+                s.bw_in >= kbps(100.0) && s.bw_in <= kbps(200.0),
+                "case {case}"
+            );
+            assert!(
+                s.bw_out >= kbps(100.0) && s.bw_out <= kbps(200.0),
+                "case {case}"
+            );
+        }
+        for v in a..a + b {
+            let s = topo.spec(v);
+            assert!(
+                s.bw_in >= kbps(1_000.0) && s.bw_in <= kbps(4_000.0),
+                "case {case}"
+            );
+        }
+        for u in 0..topo.len() {
+            for v in 0..topo.len() {
+                assert_eq!(topo.latency(u, v), topo.latency(v, u), "case {case}");
+            }
+        }
+    }
+}
+
+/// Cross-traffic occupancy delays but never reorders or corrupts
+/// the accounting.
+#[test]
+fn occupancy_only_delays() {
+    let mut rng = SimRng::new(0x0cc);
+    for case in 0..128u32 {
+        let occupy_ms = rng.range_u64(1, 2_000);
+        let bits = rng.range_u64(1, 50_000);
+        let topo = Topology::uniform(2, kbps(1_000.0), SimDuration::from_millis(10));
+        let mk = || {
+            Network::new(
+                topo.clone(),
+                NetworkConfig {
+                    max_nic_backlog: SimDuration::from_secs(3600),
+                    ..quiet(4)
+                },
+            )
+        };
+        let mut idle = mk();
+        let mut busy = mk();
+        busy.occupy(
+            SimTime::ZERO,
+            0,
+            SimDuration::from_millis(occupy_ms),
+            SimDuration::from_millis(occupy_ms),
+        );
+        let t_idle = match idle.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(t) => t,
+            other => panic!("case {case}: {other:?}"),
+        };
+        let t_busy = match busy.send(SimTime::ZERO, 0, 1, bits) {
+            simnet::SendOutcome::Delivered(t) => t,
+            other => panic!("case {case}: {other:?}"),
+        };
+        let delta = t_busy.saturating_since(t_idle);
+        assert_eq!(delta, SimDuration::from_millis(occupy_ms), "case {case}");
+    }
+}

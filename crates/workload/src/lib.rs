@@ -14,4 +14,6 @@ mod generator;
 mod scenario;
 
 pub use generator::RequestGenerator;
-pub use scenario::{run_experiment, run_experiment_with, ArrivalProcess, ExperimentOutcome, PaperSetup};
+pub use scenario::{
+    run_experiment, run_experiment_with, ArrivalProcess, ExperimentOutcome, PaperSetup,
+};

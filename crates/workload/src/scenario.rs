@@ -349,8 +349,7 @@ mod tests {
         assert!(b.delivered > 0);
         // Same workload, different arrival schedule: some metric differs.
         assert!(
-            a.generated != b.generated
-                || (a.delay_ms.mean() - b.delay_ms.mean()).abs() > 1e-9,
+            a.generated != b.generated || (a.delay_ms.mean() - b.delay_ms.mean()).abs() > 1e-9,
             "arrival process had no effect"
         );
     }

@@ -27,8 +27,7 @@ fn main() {
     let request = ServiceRequest::chain(&[0, 3, 5], 12.0, 0, 11);
     println!(
         "submitting: services {:?} at {} du/s, {} → {}",
-        request.graph.substreams[0].services, request.rates[0], request.source,
-        request.destination
+        request.graph.substreams[0].services, request.rates[0], request.source, request.destination
     );
 
     let app = match engine.submit(request) {
@@ -60,11 +59,19 @@ fn main() {
     let report = engine.report();
     println!("\nafter 30 simulated seconds:");
     println!("  data units generated : {}", report.generated);
-    println!("  delivered            : {} ({:.1}%)", report.delivered,
-        100.0 * report.delivered_fraction());
-    println!("  delivered on schedule: {:.1}%", 100.0 * report.timely_fraction());
+    println!(
+        "  delivered            : {} ({:.1}%)",
+        report.delivered,
+        100.0 * report.delivered_fraction()
+    );
+    println!(
+        "  delivered on schedule: {:.1}%",
+        100.0 * report.timely_fraction()
+    );
     println!("  mean end-to-end delay: {:.1} ms", report.delay_ms.mean());
     println!("  mean jitter          : {:.2} ms", report.jitter_ms.mean());
-    println!("  drops (sender NIC / receiver NIC / queue / deadline): {:?}",
-        report.drops);
+    println!(
+        "  drops (sender NIC / receiver NIC / queue / deadline): {:?}",
+        report.drops
+    );
 }

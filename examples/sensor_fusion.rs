@@ -56,7 +56,10 @@ fn main() {
         dht.insert(&overlay, provider, key, provider);
     }
     let before = dht.lookup(&overlay, 0, key);
-    println!("providers of 'classify' before failure: {:?}", before.values);
+    println!(
+        "providers of 'classify' before failure: {:?}",
+        before.values
+    );
 
     let owner = overlay.owner_of(key);
     println!("DHT owner of the registration is node {owner}; failing it");

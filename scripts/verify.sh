@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification, offline-safe: build, tests, formatting, lints.
+# No network access is required (the workspace has zero external
+# dependencies); CARGO_NET_OFFLINE makes any accidental regression to
+# a registry dependency fail fast instead of hanging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release
+cargo test -q
+cargo fmt --all -- --check
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: all checks passed"

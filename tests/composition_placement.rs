@@ -79,8 +79,12 @@ fn stage_rates_sum_to_the_requirement() {
 #[test]
 fn multi_substream_requests_map_every_substream() {
     let mut engine = engine_with(ComposerKind::MinCost, 29);
-    let req = ServiceRequest::multi(vec![vec![0, 1], vec![2], vec![3, 4]],
-        vec![10.0, 5.0, 8.0], 8, 9);
+    let req = ServiceRequest::multi(
+        vec![vec![0, 1], vec![2], vec![3, 4]],
+        vec![10.0, 5.0, 8.0],
+        8,
+        9,
+    );
     let app = engine.submit(req).unwrap();
     let graph = engine.app_graph(app).clone();
     assert_eq!(graph.substreams.len(), 3);

@@ -13,7 +13,10 @@ fn check_invariants(report: &rasc::core::metrics::RunReport, requests: u64) {
         requests,
         "every request is either composed or rejected"
     );
-    assert!(report.delivered <= report.generated, "delivery conservation");
+    assert!(
+        report.delivered <= report.generated,
+        "delivery conservation"
+    );
     assert!(
         report.timely <= report.delivered,
         "timely units are delivered units"
@@ -35,8 +38,10 @@ fn check_invariants(report: &rasc::core::metrics::RunReport, requests: u64) {
     }
     if report.composed > 0 {
         assert!(report.generated > 0, "composed apps must generate units");
-        assert!(report.components as usize >= report.composed as usize,
-            "each composed app has at least one component per service");
+        assert!(
+            report.components as usize >= report.composed as usize,
+            "each composed app has at least one component per service"
+        );
     }
 }
 
@@ -107,7 +112,9 @@ fn mincost_admits_at_least_as_many_requests_under_pressure() {
             seed,
             ..PaperSetup::default()
         };
-        mincost_total += run_experiment(&setup, ComposerKind::MinCost).report.composed;
+        mincost_total += run_experiment(&setup, ComposerKind::MinCost)
+            .report
+            .composed;
         random_total += run_experiment(&setup, ComposerKind::Random).report.composed;
         greedy_total += run_experiment(&setup, ComposerKind::Greedy).report.composed;
     }

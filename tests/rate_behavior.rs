@@ -14,7 +14,13 @@ fn uncongested_engine(catalog: ServiceCatalog, n: usize, seed: u64) -> Engine {
         b.node(kbps(5_000.0), kbps(5_000.0));
     }
     let offers: Vec<Vec<usize>> = (0..n)
-        .map(|v| if v + 2 < n { (0..catalog.len()).collect() } else { vec![] })
+        .map(|v| {
+            if v + 2 < n {
+                (0..catalog.len()).collect()
+            } else {
+                vec![]
+            }
+        })
         .collect();
     Engine::builder(n, catalog, seed)
         .topology(b.build())
@@ -40,7 +46,10 @@ fn delivery_rate_matches_the_request() {
         (measured - rate).abs() / rate < 0.1,
         "requested {rate} du/s, measured {measured:.2} du/s"
     );
-    assert!(r.delivered_fraction() > 0.98, "uncongested run dropped units");
+    assert!(
+        r.delivered_fraction() > 0.98,
+        "uncongested run dropped units"
+    );
     assert_eq!(r.out_of_order, 0, "single-path stream reordered");
 }
 
