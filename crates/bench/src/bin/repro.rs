@@ -16,7 +16,34 @@ use rasc_bench::{paper_sweep, render_figure, Figure, SweepConfig};
 use rasc_core::compose::ComposerKind;
 use rasc_core::engine::EngineConfig;
 use sched::Policy;
+use std::alloc::{GlobalAlloc, Layout, System};
 use workload::{run_experiment_with, PaperSetup};
+
+/// Counting allocator: lets `repro bench` assert that the steady-state
+/// solver path (arena rebuild + warm solve) is allocation-free. Only
+/// allocations are counted; frees pass straight through.
+struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; the counter update has no
+// safety obligations.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,7 +77,7 @@ fn main() {
         "ablation-cpu" => ablation_cpu(),
         "ablation-sched" => ablation_sched(),
         "ablation-split" => ablation_split(),
-        "bench" => bench_suite(),
+        "bench" => bench_suite(args.iter().any(|a| a == "--quick")),
         name => match Figure::from_arg(name) {
             Some(fig) => {
                 let cells = paper_sweep(&SweepConfig::default());
@@ -59,7 +86,8 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown mode {name}; use all | quick | fig6..fig11 | \
-                     load-matched | ablation-cpu | ablation-sched | ablation-split | bench"
+                     load-matched | ablation-cpu | ablation-sched | ablation-split | \
+                     bench [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -76,10 +104,25 @@ fn main() {
 /// pre-optimization cost in every future run of this suite. (They
 /// under-count the seed, which also rebuilt a fresh flow network per
 /// substream; the reported ratio is conservative.)
-fn bench_suite() {
-    use rasc_bench::instances::{compose_setup, compose_setup_saturated, layered};
-    use rasc_bench::microbench::{bench, black_box, record_wall, render_json};
-    use std::time::Instant;
+///
+/// `quick` shrinks per-sample budgets and the sweep (fixed seeds, a few
+/// requests) for CI smoke runs — results are printed but NOT written to
+/// `BENCH_compose.json`, so the committed numbers stay full-fidelity.
+fn bench_suite(quick: bool) {
+    use mincostflow::{FlowNetwork, FlowSolver};
+    use rasc_bench::instances::{compose_setup, compose_setup_saturated, layered, layered_into};
+    use rasc_bench::microbench::{
+        bench, bench_config, black_box, count_allocations, record_wall, render_json, Measurement,
+    };
+    use std::time::{Duration, Instant};
+
+    fn time<F: FnMut()>(quick: bool, name: &str, op: F) -> Measurement {
+        if quick {
+            bench_config(name, Duration::from_millis(4), 3, op)
+        } else {
+            bench(name, op)
+        }
+    }
 
     let mut results = Vec::new();
 
@@ -91,7 +134,8 @@ fn bench_suite() {
         let (catalog, mut view, providers, req) = compose_setup_saturated(n);
         let mut composer = ComposerKind::MinCost.build();
         let mut rng = desim::SimRng::new(9);
-        results.push(bench(
+        results.push(time(
+            quick,
             &format!("compose_reject_rollback/mincost/{n}"),
             || {
                 let r = composer.compose(&req, &catalog, &providers, &mut view, &mut rng);
@@ -99,7 +143,8 @@ fn bench_suite() {
                 black_box(r.is_err());
             },
         ));
-        results.push(bench(
+        results.push(time(
+            quick,
             &format!("compose_reject_rollback_clone_baseline/mincost/{n}"),
             || {
                 let backup = view.clone();
@@ -117,7 +162,8 @@ fn bench_suite() {
         let (catalog, view, providers, req) = compose_setup(n);
         let mut composer = kind.build();
         let mut rng = desim::SimRng::new(9);
-        results.push(bench(
+        results.push(time(
+            quick,
             &format!("compose_ok_incl_clone/{}/{n}", kind.label()),
             || {
                 let mut v = view.clone();
@@ -134,30 +180,84 @@ fn bench_suite() {
         for (name, alg) in [
             ("spfa", mincostflow::Algorithm::SpfaSsp),
             ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
+            ("dial", mincostflow::Algorithm::DialSsp),
             ("cost-scaling", mincostflow::Algorithm::CostScaling),
             ("capacity-scaling", mincostflow::Algorithm::CapacityScaling),
+            ("simplex", mincostflow::Algorithm::NetworkSimplex),
         ] {
             let (mut net, src, dst, target) = layered(layers, width, 42);
-            results.push(bench(&format!("solver/{name}/{layers}x{width}"), || {
-                net.reset_flow();
-                let sol = mincostflow::min_cost_flow(&mut net, src, dst, target, alg)
-                    .expect("feasible instance");
-                black_box(sol.cost);
-            }));
+            results.push(time(
+                quick,
+                &format!("solver/{name}/{layers}x{width}"),
+                || {
+                    net.reset_flow();
+                    let sol = mincostflow::min_cost_flow(&mut net, src, dst, target, alg)
+                        .expect("feasible instance");
+                    black_box(sol.cost);
+                },
+            ));
+        }
+
+        // Retained warm-started solver on the composer's pattern: reset
+        // the arena, rebuild the instance, solve with carried potentials
+        // and scratch buffers (rebuild cost included in the timing).
+        for (name, alg) in [
+            ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
+            ("dial", mincostflow::Algorithm::DialSsp),
+        ] {
+            let mut solver = FlowSolver::new(alg);
+            let mut net = FlowNetwork::new(0);
+            results.push(time(
+                quick,
+                &format!("solver_warm/{name}/{layers}x{width}"),
+                || {
+                    let (src, dst, target) = layered_into(&mut net, layers, width, 42);
+                    let sol = solver
+                        .solve(&mut net, src, dst, target)
+                        .expect("feasible instance");
+                    black_box(sol.cost);
+                },
+            ));
         }
     }
 
+    // --- Steady-state allocation check --------------------------------
+    // After the first solve, the arena rebuild + warm solve must reuse
+    // every buffer: zero heap allocations across further iterations.
+    {
+        let mut solver = FlowSolver::default();
+        let mut net = FlowNetwork::new(0);
+        for _ in 0..3 {
+            let (src, dst, target) = layered_into(&mut net, 5, 16, 42);
+            solver.solve(&mut net, src, dst, target).expect("feasible");
+        }
+        let allocs = count_allocations(|| {
+            for _ in 0..10 {
+                let (src, dst, target) = layered_into(&mut net, 5, 16, 42);
+                let sol = solver.solve(&mut net, src, dst, target).expect("feasible");
+                black_box(sol.cost);
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state rebuild+solve must be allocation-free"
+        );
+        println!("steady-state allocations per 10 warm solves: {allocs}");
+    }
+
     // --- Sweep wall time: serial vs parallel --------------------------
-    let threads = desim::pool::default_threads();
+    // At least two workers, so the desim thread pool is exercised even
+    // on single-core CI boxes.
+    let threads = desim::pool::default_threads().max(2);
     let cfg = SweepConfig {
         setup: PaperSetup {
-            requests: 12,
+            requests: if quick { 6 } else { 12 },
             submit_window_secs: 20.0,
             measure_secs: 40.0,
             ..PaperSetup::default()
         },
-        rates_kbps: vec![50.0, 100.0],
-        seeds: vec![1, 2, 3],
+        rates_kbps: if quick { vec![50.0] } else { vec![50.0, 100.0] },
+        seeds: if quick { vec![1, 2] } else { vec![1, 2, 3] },
         config: EngineConfig::default(),
     };
     let start = Instant::now();
@@ -197,6 +297,10 @@ fn bench_suite() {
         serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9)
     );
 
+    if quick {
+        println!("quick mode: skipping BENCH_compose.json (full runs only)");
+        return;
+    }
     let context = [
         ("threads", threads.to_string()),
         ("unit", "ns_per_op".to_string()),

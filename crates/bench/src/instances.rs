@@ -14,15 +14,34 @@ use simnet::Topology;
 /// in the ranges the monitoring windows produce. Returns
 /// `(net, src, dst, feasible_target)`.
 pub fn layered(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, usize, i64) {
+    let mut net = FlowNetwork::new(0);
+    let (src, dst, target) = layered_into(&mut net, layers, width, seed);
+    (net, src, dst, target)
+}
+
+/// Rebuilds the [`layered`] instance inside a retained arena (the
+/// composer's reset-and-rebuild pattern: after the first call the
+/// rebuild reuses every buffer and allocates nothing). Returns
+/// `(src, dst, feasible_target)`.
+pub fn layered_into(
+    net: &mut FlowNetwork,
+    layers: usize,
+    width: usize,
+    seed: u64,
+) -> (usize, usize, i64) {
     let mut rng = SimRng::new(seed);
-    let mut net = FlowNetwork::new(2);
+    net.reset(2);
     let (src, dst) = (0, 1);
     let gate = net.add_node();
     net.add_edge(src, gate, 1_000_000, 0);
-    let mut prev: Vec<usize> = vec![gate];
+    // Node ids are deterministic (layer `l` host `k` is split into nodes
+    // `3 + 2*(l*width + k)` and the next id), so the previous layer's
+    // out-nodes are computed instead of collected — the rebuild stays
+    // allocation-free, which `repro bench` asserts.
+    let prev_out = |layer_base: usize, p: usize| layer_base - 2 * width + 2 * p + 1;
     let mut min_layer_cap = i64::MAX;
-    for _ in 0..layers {
-        let mut outs = Vec::with_capacity(width);
+    let mut layer_base = gate + 1;
+    for l in 0..layers {
         let mut layer_cap = 0;
         for _ in 0..width {
             let v_in = net.add_node();
@@ -31,19 +50,23 @@ pub fn layered(layers: usize, width: usize, seed: u64) -> (FlowNetwork, usize, u
             let cost = rng.range_u64(0, 200) as i64;
             net.add_edge(v_in, v_out, cap, cost);
             layer_cap += cap;
-            for &p in &prev {
-                net.add_edge(p, v_in, 1_000_000, rng.range_u64(0, 30) as i64);
+            if l == 0 {
+                net.add_edge(gate, v_in, 1_000_000, rng.range_u64(0, 30) as i64);
+            } else {
+                for p in 0..width {
+                    let p_out = prev_out(layer_base, p);
+                    net.add_edge(p_out, v_in, 1_000_000, rng.range_u64(0, 30) as i64);
+                }
             }
-            outs.push(v_out);
         }
         min_layer_cap = min_layer_cap.min(layer_cap);
-        prev = outs;
+        layer_base += 2 * width;
     }
-    for &p in &prev {
-        net.add_edge(p, dst, 1_000_000, 0);
+    for p in 0..width {
+        net.add_edge(prev_out(layer_base, p), dst, 1_000_000, 0);
     }
     // Demand 60% of the narrowest layer: feasible, non-trivial.
-    (net, src, dst, min_layer_cap * 6 / 10)
+    (src, dst, min_layer_cap * 6 / 10)
 }
 
 /// The composition microbench scenario: a PlanetLab-like `n`-node view,
@@ -96,6 +119,19 @@ mod tests {
         let sol =
             mincostflow::min_cost_flow(&mut net, src, dst, target, Default::default()).unwrap();
         assert_eq!(sol.flow, target);
+    }
+
+    #[test]
+    fn layered_into_reuse_matches_fresh() {
+        let (mut fresh, src, dst, target) = layered(4, 6, 11);
+        let mut arena = FlowNetwork::new(0);
+        // Dirty the arena with an unrelated instance, then rebuild.
+        layered_into(&mut arena, 2, 3, 5);
+        let (s2, d2, t2) = layered_into(&mut arena, 4, 6, 11);
+        assert_eq!((src, dst, target), (s2, d2, t2));
+        let a = mincostflow::min_cost_flow(&mut fresh, src, dst, target, Default::default());
+        let b = mincostflow::min_cost_flow(&mut arena, src, dst, target, Default::default());
+        assert_eq!(a.unwrap(), b.unwrap());
     }
 
     #[test]

@@ -8,9 +8,25 @@
 //! JSON document (`BENCH_compose.json`) so successive runs can be
 //! diffed mechanically.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Global heap-allocation counter, bumped by the counting allocator the
+/// `repro` binary installs (this library is `forbid(unsafe_code)`, so
+/// the `GlobalAlloc` shim lives in the binary; see `bin/repro.rs`).
+/// Library code only reads it.
+pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `op` and returns how many heap allocations it performed.
+/// Meaningful only under a counting global allocator that bumps
+/// [`ALLOC_COUNT`]; without one it returns 0.
+pub fn count_allocations<F: FnOnce()>(op: F) -> u64 {
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    op();
+    ALLOC_COUNT.load(Ordering::Relaxed) - before
+}
 
 /// One benchmark's aggregated timing.
 #[derive(Clone, Debug)]

@@ -98,6 +98,7 @@ fn run_circulation(net: &mut FlowNetwork, alpha: i64) {
 
 /// One ε-refinement phase: make the current pseudoflow ε-optimal.
 fn refine(net: &mut FlowNetwork, scale: i64, eps: i64, price: &mut [i64]) {
+    net.ensure_csr();
     let n = net.num_nodes();
     let mut excess = vec![0i64; n];
 
@@ -125,14 +126,14 @@ fn refine(net: &mut FlowNetwork, scale: i64, eps: i64, price: &mut [i64]) {
     while let Some(u) = queue.pop_front() {
         in_queue[u] = false;
         while excess[u] > 0 {
-            if current[u] == net.adj[u].len() {
+            let (start, end) = net.out_range(u);
+            if current[u] == end - start {
                 // Relabel: lower u's price the minimal amount that creates
                 // an admissible arc, preserving ε-optimality.
                 let mut best = i64::MIN;
-                for &a in &net.adj[u] {
-                    let arc = &net.arcs[a];
-                    if arc.cap > 0 {
-                        best = best.max(price[arc.to] - arc.cost * scale);
+                for ca in &net.csr_arcs[start..end] {
+                    if ca.cap > 0 {
+                        best = best.max(price[ca.to as usize] - ca.cost * scale);
                     }
                 }
                 debug_assert!(
@@ -143,14 +144,12 @@ fn refine(net: &mut FlowNetwork, scale: i64, eps: i64, price: &mut [i64]) {
                 current[u] = 0;
                 continue;
             }
-            let a = net.adj[u][current[u]];
-            let (to, cap, cost) = {
-                let arc = &net.arcs[a];
-                (arc.to, arc.cap, arc.cost * scale)
-            };
+            let i = start + current[u];
+            let ca = &net.csr_arcs[i];
+            let (to, cap, cost) = (ca.to as usize, ca.cap, ca.cost * scale);
             if cap > 0 && cost + price[u] - price[to] < 0 {
                 let amount = excess[u].min(cap);
-                net.push(a, amount);
+                net.push(net.csr_arc(i), amount);
                 excess[u] -= amount;
                 excess[to] += amount;
                 if excess[to] > 0 && !in_queue[to] && to != u {

@@ -15,6 +15,7 @@ pub fn dinic_max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId, limit
     if source == sink || limit <= 0 {
         return 0;
     }
+    net.ensure_csr();
     let n = net.num_nodes();
     let mut level = vec![u32::MAX; n];
     let mut iter = vec![0usize; n];
@@ -27,8 +28,8 @@ pub fn dinic_max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId, limit
         let mut q = VecDeque::new();
         q.push_back(source);
         while let Some(u) = q.pop_front() {
-            for &a in &net.adj[u] {
-                let arc = &net.arcs[a];
+            for &a in net.out_arcs(u) {
+                let arc = &net.arcs[a as usize];
                 if arc.cap > 0 && level[arc.to] == u32::MAX {
                     level[arc.to] = level[u] + 1;
                     q.push_back(arc.to);
@@ -65,8 +66,9 @@ fn dfs(
     if u == sink {
         return up_to;
     }
-    while iter[u] < net.adj[u].len() {
-        let a = net.adj[u][iter[u]];
+    let (start, end) = net.out_range(u);
+    while iter[u] < end - start {
+        let a = net.csr_arc(start + iter[u]);
         let (to, cap) = {
             let arc = &net.arcs[a];
             (arc.to, arc.cap)

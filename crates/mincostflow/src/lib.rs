@@ -7,15 +7,21 @@
 //! requirement. This crate implements that machinery from scratch:
 //!
 //! * [`FlowNetwork`] — a residual-graph representation with integer
-//!   capacities and costs,
-//! * [`SspSolver`] — successive shortest paths, in two variants: SPFA
-//!   (Bellman–Ford queue; reference implementation, handles negative costs)
-//!   and Dijkstra with Johnson potentials (the fast path, the paper's
-//!   references [7, 10]),
+//!   capacities and costs over a flat CSR arc index,
+//! * [`SspSolver`] — successive shortest paths, in three variants: SPFA
+//!   (Bellman–Ford queue; reference implementation, handles negative costs),
+//!   Dijkstra with Johnson potentials (the paper's references [7, 10]), and
+//!   Dial's bucket-queue Dijkstra (the fast path when arc costs are small
+//!   bounded integers, as the composer's scaled costs are),
+//! * [`FlowSolver`] — a retained solver wrapper that keeps scratch buffers
+//!   and warm-starts potentials across a sequence of structurally similar
+//!   solves (the composer's per-substream graphs),
 //! * [`CostScaling`] — Goldberg's cost-scaling push–relabel algorithm
 //!   (reference [11]),
-//! * [`CapacityScaling`] — Edmonds–Karp capacity-scaling SSP with
-//!   phase-boundary cycle cancellation (reference [7]),
+//! * [`CapacityScaling`] — Edmonds–Karp capacity-scaling SSP in the
+//!   excess-scaling form (reference [7]),
+//! * [`NetworkSimplex`] — spanning-tree primal simplex with block-search
+//!   pivoting, the fastest solver on large composition graphs,
 //! * [`dinic_max_flow`] — Dinic's max-flow for feasibility pre-checks,
 //! * [`validate`] — independent certification of feasibility and optimality
 //!   (flow conservation, capacity bounds, no negative residual cycle).
@@ -53,6 +59,7 @@ mod capacity_scaling;
 mod cost_scaling;
 mod dinic;
 mod network;
+mod simplex;
 mod ssp;
 pub mod validate;
 
@@ -60,6 +67,7 @@ pub use capacity_scaling::CapacityScaling;
 pub use cost_scaling::CostScaling;
 pub use dinic::dinic_max_flow;
 pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use simplex::NetworkSimplex;
 pub use ssp::{SspSolver, SspVariant};
 
 /// Outcome of a successful min-cost flow solve.
@@ -92,18 +100,85 @@ impl std::fmt::Display for Infeasible {
 
 impl std::error::Error for Infeasible {}
 
-/// Solver selection for [`min_cost_flow`].
+/// Solver selection for [`min_cost_flow`] and [`FlowSolver`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Algorithm {
     /// Successive shortest paths with SPFA (reference; negative costs OK).
     SpfaSsp,
-    /// Successive shortest paths with Dijkstra + potentials (default).
-    #[default]
+    /// Successive shortest paths with binary-heap Dijkstra + potentials.
     DijkstraSsp,
+    /// Successive shortest paths with Dial's bucket-queue Dijkstra +
+    /// potentials (default: fastest on the composer's bounded-cost
+    /// graphs; falls back to the heap per-path on wide cost spans).
+    #[default]
+    DialSsp,
     /// Goldberg's cost-scaling push–relabel.
     CostScaling,
     /// Edmonds–Karp capacity-scaling SSP (the paper's reference [7]).
     CapacityScaling,
+    /// Network simplex (spanning-tree pivots; fastest on the large
+    /// layered graphs, where it avoids per-path shortest-path searches).
+    NetworkSimplex,
+}
+
+/// A retained min-cost-flow solver.
+///
+/// Holding one `FlowSolver` across a sequence of solves keeps every
+/// scratch buffer allocated between calls and — for the SSP variants —
+/// carries Johnson potentials from one solve to the next: the snapshot
+/// taken after a solve's first shortest path is revalidated in one O(m)
+/// scan against the next graph and reused when still feasible, which is
+/// the common case for the composer's per-substream graphs (rebuilt in
+/// the same arena with mildly shifted costs/capacities). Warm starts
+/// never change `(flow, cost)` results; see [`SspSolver`] for why.
+#[derive(Clone, Debug, Default)]
+pub struct FlowSolver {
+    algorithm: Algorithm,
+    ssp: ssp::SspScratch,
+}
+
+impl FlowSolver {
+    /// Creates a retained solver for the given algorithm.
+    pub fn new(algorithm: Algorithm) -> Self {
+        FlowSolver {
+            algorithm,
+            ssp: Default::default(),
+        }
+    }
+
+    /// The algorithm this solver dispatches to.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Drops the warm-start potential snapshot (buffers stay allocated).
+    /// Call when switching to an unrelated family of graphs; purely a
+    /// performance hint, never needed for correctness.
+    pub fn forget(&mut self) {
+        self.ssp.forget();
+    }
+
+    /// Routes up to `target` units from `source` to `sink` at minimum
+    /// cost. Same contract as [`min_cost_flow`].
+    pub fn solve(
+        &mut self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        target: i64,
+    ) -> Result<Solution, Infeasible> {
+        let variant = match self.algorithm {
+            Algorithm::SpfaSsp => SspVariant::Spfa,
+            Algorithm::DijkstraSsp => SspVariant::Dijkstra,
+            Algorithm::DialSsp => SspVariant::Dial,
+            Algorithm::CostScaling => {
+                return CostScaling::default().solve(net, source, sink, target)
+            }
+            Algorithm::CapacityScaling => return CapacityScaling.solve(net, source, sink, target),
+            Algorithm::NetworkSimplex => return NetworkSimplex.solve(net, source, sink, target),
+        };
+        SspSolver::new(variant).solve_with(&mut self.ssp, net, source, sink, target)
+    }
 }
 
 /// Routes `target` units of flow from `source` to `sink` at minimum cost,
@@ -117,14 +192,7 @@ pub fn min_cost_flow(
     target: i64,
     algorithm: Algorithm,
 ) -> Result<Solution, Infeasible> {
-    match algorithm {
-        Algorithm::SpfaSsp => SspSolver::new(SspVariant::Spfa).solve(net, source, sink, target),
-        Algorithm::DijkstraSsp => {
-            SspSolver::new(SspVariant::Dijkstra).solve(net, source, sink, target)
-        }
-        Algorithm::CostScaling => CostScaling::default().solve(net, source, sink, target),
-        Algorithm::CapacityScaling => CapacityScaling.solve(net, source, sink, target),
-    }
+    FlowSolver::new(algorithm).solve(net, source, sink, target)
 }
 
 #[cfg(test)]
@@ -136,8 +204,10 @@ mod tests {
         for alg in [
             Algorithm::SpfaSsp,
             Algorithm::DijkstraSsp,
+            Algorithm::DialSsp,
             Algorithm::CostScaling,
             Algorithm::CapacityScaling,
+            Algorithm::NetworkSimplex,
         ] {
             let mut net = FlowNetwork::new(2);
             net.add_edge(0, 1, 5, 3);

@@ -1,8 +1,19 @@
-//! Residual flow-network representation.
+//! Residual flow-network representation, CSR-backed.
 //!
 //! Arcs are stored in a flat `Vec` where arc `2k` is the `k`-th user edge
 //! and arc `2k+1` is its residual reverse (capacity 0, negated cost). This
 //! pairing makes `rev(a) == a ^ 1`, avoiding an explicit pointer.
+//!
+//! Adjacency is a compressed-sparse-row (CSR) index over those arcs: one
+//! flat `csr` array of arc ids grouped by tail node, and a `first_out`
+//! offset array of length `n + 1`. Compared with the former
+//! `Vec<Vec<usize>>` adjacency this keeps every node's out-arc list in
+//! one contiguous cache line run and removes a pointer chase per node in
+//! the solvers' inner loops. The index is rebuilt lazily (counting sort,
+//! `O(n + m)`, allocation-free after the first build) whenever edges or
+//! nodes were added since the last build; `reset` keeps all allocations,
+//! so a caller solving many similarly sized instances (one layered graph
+//! per substream) reuses one network as an arena.
 
 /// Index of a node in a [`FlowNetwork`].
 pub type NodeId = usize;
@@ -19,12 +30,50 @@ pub(crate) struct Arc {
     pub cost: i64,
 }
 
+/// Arc record in CSR order — the solvers' relaxation loops read these
+/// three fields together, so they live in one 24-byte record (a single
+/// sequential stream) rather than three parallel arrays.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CsrArc {
+    /// Remaining residual capacity (mirror of `arcs[csr[i]].cap`).
+    pub cap: i64,
+    pub cost: i64,
+    pub to: u32,
+}
+
 /// A directed flow network with integer capacities and costs.
 #[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
     pub(crate) arcs: Vec<Arc>,
-    /// Outgoing arc indices per node (forward and residual alike).
-    pub(crate) adj: Vec<Vec<usize>>,
+    /// Number of nodes.
+    n: usize,
+    /// CSR offsets: arcs of node `u` are `csr[first_out[u]..first_out[u+1]]`.
+    /// Valid only when `csr_dirty` is false.
+    first_out: Vec<u32>,
+    /// Arc ids grouped by tail node, ascending within a node (matching
+    /// insertion order, so iteration order — and therefore tie-breaking
+    /// in every solver — is identical to the old per-node `Vec` lists).
+    pub(crate) csr: Vec<u32>,
+    /// Arc *data* mirrored in CSR order, one packed record per position,
+    /// so the solvers' inner relaxation loops scan a single flat array
+    /// linearly instead of gathering `arcs[csr[i]]` in insertion order —
+    /// at layered-graph sizes that double indirection was the single
+    /// largest cost in Dijkstra. Capacities are kept in sync with `arcs`
+    /// by [`push`](Self::push) via the `pos` inverse map.
+    pub(crate) csr_arcs: Vec<CsrArc>,
+    /// CSR position of each arc id (inverse of `csr`).
+    pos: Vec<u32>,
+    /// Scratch cursor for the counting sort (retained to keep rebuilds
+    /// allocation-free).
+    cursor: Vec<u32>,
+    /// Whether the CSR index is stale w.r.t. `arcs`/`n`.
+    csr_dirty: bool,
+    /// Number of user edges with negative cost (O(1) negative-arc check).
+    neg_edges: usize,
+    /// Whether any flow has been pushed since the last reset — pushed
+    /// flow activates residual arcs, which carry negated (possibly
+    /// negative) costs even when every user edge cost is non-negative.
+    flow_dirty: bool,
     /// Original capacity of every user edge, indexed by `EdgeId.0`.
     original_cap: Vec<i64>,
 }
@@ -34,31 +83,37 @@ impl FlowNetwork {
     pub fn new(n: usize) -> Self {
         FlowNetwork {
             arcs: Vec::new(),
-            adj: vec![Vec::new(); n],
+            n,
+            first_out: Vec::new(),
+            csr: Vec::new(),
+            csr_arcs: Vec::new(),
+            pos: Vec::new(),
+            cursor: Vec::new(),
+            csr_dirty: true,
+            neg_edges: 0,
+            flow_dirty: false,
             original_cap: Vec::new(),
         }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Clears the network down to `n` isolated nodes while retaining the
-    /// arc and adjacency allocations, so a caller solving many similarly
-    /// sized instances (e.g. one layered graph per substream) can reuse
-    /// one network as an arena instead of rebuilding it from scratch.
+    /// arc, CSR, and scratch allocations, so a caller solving many
+    /// similarly sized instances (e.g. one layered graph per substream)
+    /// can reuse one network as an arena instead of rebuilding it from
+    /// scratch. Allocation-free once the arena has grown to the size of
+    /// the largest instance seen.
     pub fn reset(&mut self, n: usize) {
         self.arcs.clear();
         self.original_cap.clear();
-        for list in &mut self.adj {
-            list.clear();
-        }
-        if self.adj.len() < n {
-            self.adj.resize_with(n, Vec::new);
-        } else {
-            self.adj.truncate(n);
-        }
+        self.n = n;
+        self.csr_dirty = true;
+        self.neg_edges = 0;
+        self.flow_dirty = false;
     }
 
     /// Number of user edges (not counting residual arcs).
@@ -68,15 +123,16 @@ impl FlowNetwork {
 
     /// Adds a node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adj.push(Vec::new());
-        self.adj.len() - 1
+        self.n += 1;
+        self.csr_dirty = true;
+        self.n - 1
     }
 
     /// Adds a directed edge `from → to` with the given capacity and
     /// per-unit cost. Capacity must be non-negative.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> EdgeId {
-        assert!(from < self.adj.len(), "from out of range");
-        assert!(to < self.adj.len(), "to out of range");
+        assert!(from < self.n, "from out of range");
+        assert!(to < self.n, "to out of range");
         assert!(cap >= 0, "negative capacity");
         let id = self.arcs.len();
         self.arcs.push(Arc { to, cap, cost });
@@ -85,10 +141,90 @@ impl FlowNetwork {
             cap: 0,
             cost: -cost,
         });
-        self.adj[from].push(id);
-        self.adj[to].push(id + 1);
         self.original_cap.push(cap);
+        if cost < 0 {
+            self.neg_edges += 1;
+        }
+        self.csr_dirty = true;
         EdgeId(id / 2)
+    }
+
+    /// Conservative O(1) check: `false` guarantees no active arc has a
+    /// negative cost (so zero potentials are valid); `true` means a
+    /// negative-cost arc *may* be active and an O(m) scan must decide.
+    pub(crate) fn maybe_negative_active(&self) -> bool {
+        self.neg_edges > 0 || self.flow_dirty
+    }
+
+    /// Rebuilds the CSR adjacency index if it is stale. Every solver
+    /// calls this once before touching [`out_arcs`](Self::out_arcs);
+    /// a clean index makes the call free.
+    pub(crate) fn ensure_csr(&mut self) {
+        if !self.csr_dirty {
+            return;
+        }
+        let n = self.n;
+        let m = self.arcs.len();
+        self.first_out.clear();
+        self.first_out.resize(n + 1, 0);
+        for a in 0..m {
+            // Tail of arc `a` is the head of its xor-paired reverse.
+            let from = self.arcs[a ^ 1].to;
+            self.first_out[from + 1] += 1;
+        }
+        for i in 0..n {
+            self.first_out[i + 1] += self.first_out[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.first_out[..n]);
+        self.csr.clear();
+        self.csr.resize(m, 0);
+        self.csr_arcs.clear();
+        self.csr_arcs.resize(m, CsrArc::default());
+        self.pos.clear();
+        self.pos.resize(m, 0);
+        for a in 0..m {
+            let from = self.arcs[a ^ 1].to;
+            let i = self.cursor[from] as usize;
+            self.csr[i] = a as u32;
+            self.pos[a] = i as u32;
+            let arc = &self.arcs[a];
+            self.csr_arcs[i] = CsrArc {
+                cap: arc.cap,
+                cost: arc.cost,
+                to: arc.to as u32,
+            };
+            self.cursor[from] += 1;
+        }
+        self.csr_dirty = false;
+    }
+
+    /// Out-arc ids of `u` (forward and residual alike), contiguous.
+    /// The CSR index must be clean (see [`ensure_csr`](Self::ensure_csr)).
+    #[inline]
+    pub(crate) fn out_arcs(&self, u: NodeId) -> &[u32] {
+        debug_assert!(!self.csr_dirty, "CSR index is stale");
+        &self.csr[self.first_out[u] as usize..self.first_out[u + 1] as usize]
+    }
+
+    /// CSR range of `u` as raw indices into [`csr_arc`](Self::csr_arc),
+    /// for solvers that mutate the network while iterating.
+    #[inline]
+    pub(crate) fn out_range(&self, u: NodeId) -> (usize, usize) {
+        debug_assert!(!self.csr_dirty, "CSR index is stale");
+        (self.first_out[u] as usize, self.first_out[u + 1] as usize)
+    }
+
+    /// The arc id stored at CSR position `i` (see [`out_range`](Self::out_range)).
+    #[inline]
+    pub(crate) fn csr_arc(&self, i: usize) -> usize {
+        self.csr[i] as usize
+    }
+
+    /// Tail node of arc `a` (the node it leaves).
+    #[inline]
+    pub(crate) fn arc_tail(&self, a: usize) -> NodeId {
+        self.arcs[a ^ 1].to
     }
 
     /// Current flow routed over a user edge.
@@ -144,12 +280,20 @@ impl FlowNetwork {
         net
     }
 
-    /// Clears all routed flow, restoring original capacities.
+    /// Clears all routed flow, restoring original capacities. The CSR
+    /// index stays valid: flow changes touch capacities, not topology
+    /// (the capacity mirror is re-synced in the same pass).
     pub fn reset_flow(&mut self) {
         for k in 0..self.num_edges() {
             self.arcs[k * 2].cap = self.original_cap[k];
             self.arcs[k * 2 + 1].cap = 0;
         }
+        if !self.csr_dirty {
+            for (i, &a) in self.csr.iter().enumerate() {
+                self.csr_arcs[i].cap = self.arcs[a as usize].cap;
+            }
+        }
+        self.flow_dirty = false;
     }
 
     /// Pushes `amount` of flow along arc `a` (internal; updates residuals).
@@ -158,22 +302,38 @@ impl FlowNetwork {
         debug_assert!(amount >= 0 && amount <= self.arcs[a].cap);
         self.arcs[a].cap -= amount;
         self.arcs[a ^ 1].cap += amount;
+        if !self.csr_dirty {
+            self.csr_arcs[self.pos[a] as usize].cap -= amount;
+            self.csr_arcs[self.pos[a ^ 1] as usize].cap += amount;
+        }
+        self.flow_dirty = true;
+    }
+
+    /// Pushes `amount` along arc `a` without re-syncing the CSR capacity
+    /// mirror, leaving the index marked stale. Cheaper than
+    /// [`push`](Self::push) for solvers that read capacities straight from
+    /// `arcs` and invalidate the index when they finish anyway (network
+    /// simplex pops its super-arc, which dirties the CSR regardless).
+    #[inline]
+    pub(crate) fn push_unmirrored(&mut self, a: usize, amount: i64) {
+        debug_assert!(amount >= 0 && amount <= self.arcs[a].cap);
+        self.arcs[a].cap -= amount;
+        self.arcs[a ^ 1].cap += amount;
+        self.csr_dirty = true;
+        self.flow_dirty = true;
     }
 
     /// Removes the most recently added user edge. Only valid when it *is*
     /// the last one added; used internally to retract temporary super-arcs.
     pub(crate) fn pop_last_edge(&mut self) {
-        let fwd = self.arcs.len() - 2;
-        let rev = fwd + 1;
-        let from = self.arcs[rev].to;
-        let to = self.arcs[fwd].to;
-        assert_eq!(self.adj[from].last(), Some(&fwd), "not the last edge");
-        assert_eq!(self.adj[to].last(), Some(&rev), "not the last edge");
-        self.adj[from].pop();
-        self.adj[to].pop();
+        assert!(self.arcs.len() >= 2, "no edge to pop");
         self.arcs.pop();
-        self.arcs.pop();
+        let fwd = self.arcs.pop().expect("arc pair");
+        if fwd.cost < 0 {
+            self.neg_edges -= 1;
+        }
         self.original_cap.pop();
+        self.csr_dirty = true;
     }
 }
 
@@ -246,6 +406,43 @@ mod tests {
         net.reset(8);
         assert_eq!(net.num_nodes(), 8);
         assert_eq!(net.num_edges(), 0);
+    }
+
+    #[test]
+    fn csr_matches_insertion_order() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1, 0); // arcs 0 (0→1), 1 (1→0)
+        net.add_edge(0, 2, 1, 0); // arcs 2 (0→2), 3 (2→0)
+        net.add_edge(1, 2, 1, 0); // arcs 4 (1→2), 5 (2→1)
+        net.ensure_csr();
+        assert_eq!(net.out_arcs(0), &[0, 2]);
+        assert_eq!(net.out_arcs(1), &[1, 4]);
+        assert_eq!(net.out_arcs(2), &[3, 5]);
+        assert_eq!(net.arc_tail(0), 0);
+        assert_eq!(net.arc_tail(1), 1);
+        assert_eq!(net.arc_tail(5), 2);
+        // Rebuild after mutation picks up the new arcs.
+        net.add_edge(2, 0, 1, 0); // arcs 6 (2→0), 7 (0→2)
+        net.ensure_csr();
+        assert_eq!(net.out_arcs(2), &[3, 5, 6]);
+        assert_eq!(net.out_arcs(0), &[0, 2, 7]);
+    }
+
+    #[test]
+    fn csr_survives_reset_and_pop() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1, 5);
+        net.ensure_csr();
+        net.pop_last_edge();
+        net.ensure_csr();
+        assert!(net.out_arcs(0).is_empty());
+        assert!(net.out_arcs(1).is_empty());
+        net.reset(3);
+        net.add_edge(2, 0, 4, 1);
+        net.ensure_csr();
+        assert_eq!(net.out_arcs(2), &[0]);
+        assert_eq!(net.out_arcs(0), &[1]);
+        assert!(net.out_arcs(1).is_empty());
     }
 
     #[test]

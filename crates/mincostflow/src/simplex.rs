@@ -1,0 +1,482 @@
+//! Network simplex for min-cost flow, the classical primal simplex
+//! method specialised to spanning-tree bases (Dantzig; the implementation
+//! follows the structure popularised by LEMON's `NetworkSimplex`).
+//!
+//! The successive-shortest-path solvers pay one Dijkstra — `O(m log n)`
+//! or a bucket sweep — per augmenting path, and composition-shaped
+//! layered graphs need hundreds of paths. Network simplex replaces the
+//! per-path search with spanning-tree pivots whose cost is the tree
+//! depth plus a bounded candidate scan, which is why it dominates
+//! augmenting-path algorithms on dense-ish instances in practice.
+//!
+//! The flow-value problem is reduced to a min-cost *circulation* with
+//! the same temporary `sink → source` super-arc used by
+//! [`crate::CostScaling`] and [`crate::CapacityScaling`]. The simplex
+//! itself runs on the residual representation:
+//!
+//! * A **basis** is a spanning tree of the graph plus an artificial
+//!   root; every non-tree residual arc is implicitly at a bound (its
+//!   residual capacity says which). Node potentials `π` make every tree
+//!   arc's reduced cost zero.
+//! * A residual arc with positive capacity and negative reduced cost is
+//!   a profitable **entering arc**; pushing along it and back through
+//!   the tree path between its endpoints is a cycle whose bottleneck
+//!   determines the **leaving arc**. Pivots are selected with LEMON's
+//!   block-search rule (scan `≈√m`-sized blocks, take the most negative
+//!   candidate in the first non-empty block).
+//! * Degenerate pivots (bottleneck zero) are unavoidable — the initial
+//!   all-artificial basis is entirely degenerate — and are kept finite
+//!   by Cunningham's strongly-feasible-basis tie-break: the leaving arc
+//!   is the blocking arc *closest to the entering arc's tail* on the
+//!   tail-side path, but *closest to the join* on the head-side path.
+//! * When no entering arc exists, every real residual arc has `rc ≥ 0`,
+//!   so no negative residual cycle exists and the circulation is
+//!   optimal ([`crate::validate`]'s certificate).
+//!
+//! Artificial arcs (node ↔ root) start the tree but never carry flow:
+//! the circulation has zero supplies, so every cycle through the root
+//! crosses an artificial *down*-arc whose residual capacity is the
+//! (zero) artificial flow, making the cycle's bottleneck zero. That
+//! keeps them flow-free forever by induction, which in turn means they
+//! can cost zero and be excluded from the entering-arc scan without
+//! affecting the final — artificial-free — optimum: optimality only
+//! needs `rc ≥ 0` on *real* residual arcs, since negative residual
+//! cycles of the real network contain no artificial arc.
+
+use crate::network::{FlowNetwork, NodeId};
+use crate::{Infeasible, Solution};
+
+const INF: i64 = i64::MAX / 4;
+const NONE: u32 = u32::MAX;
+
+/// Network simplex min-cost flow solver.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetworkSimplex;
+
+impl NetworkSimplex {
+    /// Routes up to `target` units from `source` to `sink` at minimum
+    /// cost. Same contract as [`crate::SspSolver::solve`].
+    pub fn solve(
+        &self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        target: i64,
+    ) -> Result<Solution, Infeasible> {
+        assert!(target >= 0, "negative flow target");
+        assert!(source < net.num_nodes() && sink < net.num_nodes());
+        if source == sink || target == 0 {
+            return Ok(Solution { flow: 0, cost: 0 });
+        }
+        // Super-arc cost: strictly below minus the most expensive simple
+        // path, so maximizing super-arc flow dominates all routing costs.
+        let cost_mag: i64 = net.edges().map(|e| net.cost(e).abs()).sum::<i64>().max(1);
+        let super_edge = net.add_edge(sink, source, target, -(cost_mag + 1));
+
+        Simplex::new(net).run(net);
+
+        let flow = net.flow_on(super_edge);
+        net.pop_last_edge();
+        let cost = net.total_cost();
+        if flow == target {
+            Ok(Solution { flow, cost })
+        } else {
+            Err(Infeasible {
+                max_flow: flow,
+                cost,
+            })
+        }
+    }
+}
+
+/// Spanning-tree state of one simplex run. Node `n` is the artificial
+/// root; arc ids `< 2m` are the network's residual arcs, ids `≥ 2m` are
+/// artificial (node `v`'s pair is `2m + 2v` up / `2m + 2v + 1` down,
+/// preserving `rev(a) == a ^ 1`).
+struct Simplex {
+    /// Parent of each node in the spanning tree (root's is `NONE`).
+    parent: Vec<u32>,
+    /// Residual arc id directed `v → parent[v]` (root's is `NONE`).
+    pred: Vec<u32>,
+    /// Depth from the root, for cycle (LCA) walks.
+    depth: Vec<u32>,
+    /// Node potentials; tree arcs have zero reduced cost.
+    pi: Vec<i64>,
+    /// Tree children, maintained incrementally for subtree traversal.
+    children: Vec<Vec<u32>>,
+    /// Tail node of each real residual arc.
+    tails: Vec<u32>,
+    /// Residual capacities of the artificial arcs (all flows stay zero;
+    /// only the *down* arcs' zero capacity is ever load-bearing).
+    art_cap: Vec<i64>,
+    /// Entering-arc scan: next candidate position and block size.
+    next_arc: usize,
+    block: usize,
+    /// Scratch for subtree traversal, path reversal, and cycle pushes.
+    stack: Vec<u32>,
+    path: Vec<(u32, u32)>,
+    cycle: Vec<u32>,
+}
+
+impl Simplex {
+    fn new(net: &mut FlowNetwork) -> Simplex {
+        net.ensure_csr();
+        let n = net.num_nodes();
+        let root = n as u32;
+        let m2 = net.arcs.len();
+        let mut tails = vec![0u32; m2];
+        for u in 0..n {
+            let (lo, hi) = net.out_range(u);
+            for i in lo..hi {
+                tails[net.csr_arc(i)] = u as u32;
+            }
+        }
+        let mut children = vec![Vec::new(); n + 1];
+        children[n] = (0..n as u32).collect();
+        let mut art_cap = vec![0i64; 2 * n];
+        for v in 0..n {
+            art_cap[2 * v] = INF; // v → root
+        }
+        // Artificial arcs cost zero, so all-zero potentials satisfy the
+        // tree invariant and real arcs start at their plain reduced
+        // costs. Zero cost is safe because artificial arcs never carry
+        // flow (see the module docs) — they are scaffolding only.
+        let pi = vec![0i64; n + 1];
+        let mut parent = vec![root; n + 1];
+        parent[n] = NONE;
+        let mut pred: Vec<u32> = (0..n as u32).map(|v| m2 as u32 + 2 * v).collect();
+        pred.push(NONE);
+        let mut depth = vec![1u32; n + 1];
+        depth[n] = 0;
+        Simplex {
+            parent,
+            pred,
+            depth,
+            pi,
+            children,
+            tails,
+            art_cap,
+            next_arc: 0,
+            block: 2 * (m2 as f64).sqrt() as usize + 1,
+            stack: Vec::new(),
+            path: Vec::new(),
+            cycle: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn res_cap(&self, net: &FlowNetwork, a: u32) -> i64 {
+        let a = a as usize;
+        if a < self.tails.len() {
+            net.arcs[a].cap
+        } else {
+            self.art_cap[a - self.tails.len()]
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, net: &mut FlowNetwork, a: u32, amount: i64) {
+        let a = a as usize;
+        if a < self.tails.len() {
+            net.push_unmirrored(a, amount);
+        } else {
+            let i = a - self.tails.len();
+            self.art_cap[i] -= amount;
+            self.art_cap[i ^ 1] += amount;
+        }
+    }
+
+    fn run(&mut self, net: &mut FlowNetwork) {
+        while let Some(e) = self.find_entering(net) {
+            self.pivot(net, e);
+        }
+    }
+
+    /// Block-search pivot rule: scan real residual arcs in id order,
+    /// wrapping around; return the most negative reduced-cost arc of
+    /// the first block that contains any candidate, or `None` when a
+    /// full sweep finds nothing (optimality).
+    fn find_entering(&mut self, net: &FlowNetwork) -> Option<u32> {
+        let m2 = self.tails.len();
+        let mut best: Option<u32> = None;
+        let mut best_rc = 0i64;
+        let mut scanned = 0usize;
+        let mut counted = 0usize;
+        let mut a = self.next_arc;
+        while scanned < m2 {
+            let arc = &net.arcs[a];
+            if arc.cap > 0 {
+                let rc = arc.cost + self.pi[self.tails[a] as usize] - self.pi[arc.to];
+                if rc < best_rc {
+                    best_rc = rc;
+                    best = Some(a as u32);
+                }
+            }
+            scanned += 1;
+            counted += 1;
+            a += 1;
+            if a == m2 {
+                a = 0;
+            }
+            if counted == self.block {
+                counted = 0;
+                if best.is_some() {
+                    break;
+                }
+            }
+        }
+        self.next_arc = a;
+        best
+    }
+
+    /// One simplex pivot on entering residual arc `e` (pushed along its
+    /// direction): find the tree cycle, augment by its bottleneck, and
+    /// re-hang the basis if a tree arc leaves.
+    fn pivot(&mut self, net: &mut FlowNetwork, e: u32) {
+        let first = self.tails[e as usize];
+        let second = net.arcs[e as usize].to as u32;
+
+        // Join: lowest common ancestor of the entering arc's endpoints.
+        let (mut x, mut y) = (first, second);
+        while self.depth[x as usize] > self.depth[y as usize] {
+            x = self.parent[x as usize];
+        }
+        while self.depth[y as usize] > self.depth[x as usize] {
+            y = self.parent[y as usize];
+        }
+        while x != y {
+            x = self.parent[x as usize];
+            y = self.parent[y as usize];
+        }
+        let join = x;
+
+        // Bottleneck search around the cycle, recording the traversed
+        // residual arcs so the augmentation doesn't re-walk the tree.
+        // The asymmetric tie-breaks (`<` on the tail-side path, `<=` on
+        // the head-side) keep the basis strongly feasible, which bounds
+        // degenerate pivot runs.
+        let mut delta = self.res_cap(net, e);
+        let mut u_out = NONE;
+        let mut result = 0u8;
+        self.cycle.clear();
+        self.cycle.push(e);
+        let mut w = first;
+        while w != join {
+            // Cycle direction here is parent → w: the reverse residual.
+            let a = self.pred[w as usize] ^ 1;
+            let d = self.res_cap(net, a);
+            self.cycle.push(a);
+            if d < delta {
+                delta = d;
+                u_out = w;
+                result = 1;
+            }
+            w = self.parent[w as usize];
+        }
+        let mut w = second;
+        while w != join {
+            // Cycle direction here is w → parent: the pred arc itself.
+            let a = self.pred[w as usize];
+            let d = self.res_cap(net, a);
+            self.cycle.push(a);
+            if d <= delta {
+                delta = d;
+                u_out = w;
+                result = 2;
+            }
+            w = self.parent[w as usize];
+        }
+
+        if delta > 0 {
+            for k in 0..self.cycle.len() {
+                self.push(net, self.cycle[k], delta);
+            }
+        }
+
+        if result == 0 {
+            // The entering arc itself is the bottleneck: it saturates
+            // and stays non-basic (the classic bound flip); no change
+            // to the tree.
+            return;
+        }
+
+        // The leaving arc is `pred[u_out]`; removing it cuts off the
+        // subtree S containing u_in, which re-hangs below v_in through
+        // the entering arc.
+        let (u_in, v_in, in_arc) = if result == 1 {
+            (first, second, e)
+        } else {
+            (second, first, e ^ 1)
+        };
+        // All of S shifts by the entering arc's reduced cost so it
+        // becomes the zero of the new tree arc.
+        let in_cost = net.arcs[in_arc as usize].cost;
+        let sigma = -(in_cost + self.pi[u_in as usize] - self.pi[v_in as usize]);
+
+        // Reverse the tree path u_in → u_out: each old parent becomes
+        // the child of its old child. Recorded first (node, old pred),
+        // then applied from u_out downward so every `children` lookup
+        // still sees the pre-pivot relation it detaches.
+        self.path.clear();
+        let mut w = u_in;
+        loop {
+            self.path.push((w, self.pred[w as usize]));
+            if w == u_out {
+                break;
+            }
+            w = self.parent[w as usize];
+        }
+        for i in (0..self.path.len()).rev() {
+            let (w, _) = self.path[i];
+            let old_p = if i + 1 < self.path.len() {
+                self.path[i + 1].0
+            } else {
+                self.parent[w as usize]
+            };
+            let (new_p, new_pred) = if i == 0 {
+                (v_in, in_arc)
+            } else {
+                (self.path[i - 1].0, self.path[i - 1].1 ^ 1)
+            };
+            self.detach_child(old_p, w);
+            self.parent[w as usize] = new_p;
+            self.pred[w as usize] = new_pred;
+            self.children[new_p as usize].push(w);
+        }
+
+        // Refresh depth and potential across the re-hung subtree.
+        self.stack.clear();
+        self.stack.push(u_in);
+        while let Some(v) = self.stack.pop() {
+            let p = self.parent[v as usize] as usize;
+            self.depth[v as usize] = self.depth[p] + 1;
+            self.pi[v as usize] += sigma;
+            for &c in &self.children[v as usize] {
+                self.stack.push(c);
+            }
+        }
+    }
+
+    #[inline]
+    fn detach_child(&mut self, p: u32, w: u32) {
+        let list = &mut self.children[p as usize];
+        let idx = list.iter().position(|&c| c == w).expect("tree child");
+        list.swap_remove(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp::{SspSolver, SspVariant};
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 10, 5);
+        let sol = NetworkSimplex.solve(&mut net, 0, 1, 7).unwrap();
+        assert_eq!(sol, Solution { flow: 7, cost: 35 });
+    }
+
+    #[test]
+    fn splits_across_parallel_routes() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 4, 1);
+        net.add_edge(1, 3, 4, 1);
+        net.add_edge(0, 2, 10, 10);
+        net.add_edge(2, 3, 10, 10);
+        let sol = NetworkSimplex.solve(&mut net, 0, 3, 6).unwrap();
+        assert_eq!(sol.flow, 6);
+        assert_eq!(sol.cost, 4 * 2 + 2 * 20);
+    }
+
+    #[test]
+    fn infeasible_routes_max_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 3, 1);
+        net.add_edge(1, 2, 2, 1);
+        let err = NetworkSimplex.solve(&mut net, 0, 2, 5).unwrap_err();
+        assert_eq!(err.max_flow, 2);
+        assert_eq!(err.cost, 4);
+    }
+
+    #[test]
+    fn negative_costs_handled() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 5, -2);
+        net.add_edge(1, 3, 5, 1);
+        net.add_edge(0, 2, 5, 1);
+        net.add_edge(2, 3, 5, 1);
+        let sol = NetworkSimplex.solve(&mut net, 0, 3, 8).unwrap();
+        assert_eq!(sol.flow, 8);
+        assert_eq!(sol.cost, -5 + 3 * 2);
+    }
+
+    #[test]
+    fn zero_capacity_graph_is_infeasible() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 0, 1);
+        let err = NetworkSimplex.solve(&mut net, 0, 1, 1).unwrap_err();
+        assert_eq!(err.max_flow, 0);
+        assert_eq!(err.cost, 0);
+    }
+
+    #[test]
+    fn flows_left_installed_are_consistent() {
+        let mut net = FlowNetwork::new(4);
+        let e1 = net.add_edge(0, 1, 4, 1);
+        let e2 = net.add_edge(1, 3, 4, 1);
+        net.add_edge(0, 2, 10, 10);
+        net.add_edge(2, 3, 10, 10);
+        let sol = NetworkSimplex.solve(&mut net, 0, 3, 6).unwrap();
+        assert_eq!(net.flow_on(e1), 4);
+        assert_eq!(net.flow_on(e2), 4);
+        assert_eq!(net.total_cost(), sol.cost);
+        assert!(crate::validate::check_flow(&net, 0, 3, sol.flow).is_empty());
+        crate::validate::check_optimality(&net).unwrap();
+    }
+
+    #[test]
+    fn agrees_with_ssp_on_random_grids() {
+        // Deterministic xorshift instances; same generator as the
+        // cost-scaling agreement test.
+        let build = |seed: u64| {
+            let mut net = FlowNetwork::new(16);
+            let mut x = seed;
+            let mut rnd = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for r in 0..4usize {
+                for c in 0..4usize {
+                    let v = r * 4 + c;
+                    if c + 1 < 4 {
+                        net.add_edge(v, v + 1, (rnd() % 9 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                    if r + 1 < 4 {
+                        net.add_edge(v, v + 4, (rnd() % 9 + 1) as i64, (rnd() % 20) as i64);
+                    }
+                }
+            }
+            net
+        };
+        for seed in [0xDEADBEEF, 0xC0FFEE, 0x5EED] {
+            for target in [1, 3, 7, 50] {
+                let mut a = build(seed);
+                let mut b = build(seed);
+                let sa = SspSolver::new(SspVariant::Dijkstra).solve(&mut a, 0, 15, target);
+                let sb = NetworkSimplex.solve(&mut b, 0, 15, target);
+                match (sa, sb) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed:#x} target {target}"),
+                    (Err(x), Err(y)) => {
+                        assert_eq!(x.max_flow, y.max_flow, "seed {seed:#x} target {target}");
+                        assert_eq!(x.cost, y.cost, "seed {seed:#x} target {target}");
+                    }
+                    other => panic!("solver disagreement (seed {seed:#x}, {target}): {other:?}"),
+                }
+            }
+        }
+    }
+}

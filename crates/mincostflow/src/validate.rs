@@ -87,13 +87,14 @@ pub fn check_optimality(net: &FlowNetwork) -> Result<(), Violation> {
     let mut dist = vec![0i64; n]; // virtual source: all distances start 0
     for round in 0..n {
         let mut changed = false;
-        for u in 0..n {
-            for &a in &net.adj[u] {
-                let arc = &net.arcs[a];
-                if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
-                    dist[arc.to] = dist[u] + arc.cost;
-                    changed = true;
-                }
+        // Relax over the flat arc list (tail of `a` is `a ^ 1`'s head):
+        // works on a `&FlowNetwork` without requiring a CSR rebuild.
+        for a in 0..net.arcs.len() {
+            let arc = &net.arcs[a];
+            let u = net.arc_tail(a);
+            if arc.cap > 0 && dist[u] + arc.cost < dist[arc.to] {
+                dist[arc.to] = dist[u] + arc.cost;
+                changed = true;
             }
         }
         if !changed {

@@ -4,7 +4,7 @@
 //! case reproduces from the case number in the assertion message.
 
 use desim::SimRng;
-use mincostflow::{dinic_max_flow, min_cost_flow, validate, Algorithm, FlowNetwork};
+use mincostflow::{dinic_max_flow, min_cost_flow, validate, Algorithm, FlowNetwork, FlowSolver};
 
 /// A randomly generated problem instance.
 #[derive(Clone, Debug)]
@@ -119,7 +119,11 @@ fn scaling_solvers_agree_with_ssp() {
         let sink = inst.n - 1;
         let mut a = build(&inst);
         let ra = min_cost_flow(&mut a, 0, sink, inst.target, Algorithm::DijkstraSsp);
-        for alg in [Algorithm::CostScaling, Algorithm::CapacityScaling] {
+        for alg in [
+            Algorithm::CostScaling,
+            Algorithm::CapacityScaling,
+            Algorithm::NetworkSimplex,
+        ] {
             let mut b = build(&inst);
             let rb = min_cost_flow(&mut b, 0, sink, inst.target, alg);
             match (&ra, &rb) {
@@ -236,6 +240,82 @@ fn arena_reuse_matches_fresh_build() {
                 assert_eq!(x.cost, y.cost, "case {case}");
             }
             other => panic!("case {case}: arena changed outcome: {other:?}"),
+        }
+    }
+}
+
+/// Warm-start equivalence: a retained [`FlowSolver`] solving a sequence
+/// of instances on one reused arena — carrying its potential snapshot
+/// from solve to solve — must report bit-identical `(flow, cost)` to a
+/// fresh single-shot solve of each instance, for every algorithm.
+/// (Min-cost flow of a given value has a unique cost, so `(flow, cost)`
+/// equality is the right oracle even when the flow assignment differs.)
+#[test]
+fn warm_start_matches_fresh_solves() {
+    for alg in [
+        Algorithm::SpfaSsp,
+        Algorithm::DijkstraSsp,
+        Algorithm::DialSsp,
+        Algorithm::CostScaling,
+        Algorithm::CapacityScaling,
+        Algorithm::NetworkSimplex,
+    ] {
+        let mut rng = SimRng::new(0x3A21);
+        let mut solver = FlowSolver::new(alg);
+        let mut arena = FlowNetwork::new(0);
+        for case in 0..128u32 {
+            let inst = random_instance(&mut rng, 8);
+            let sink = inst.n - 1;
+            arena.reset(inst.n);
+            for &(from, to, cap, cost) in &inst.edges {
+                if from == to && cost < 0 {
+                    continue;
+                }
+                arena.add_edge(from, to, cap, cost);
+            }
+            let warm = solver.solve(&mut arena, 0, sink, inst.target);
+            let mut fresh = build(&inst);
+            let cold = min_cost_flow(&mut fresh, 0, sink, inst.target, alg);
+            match (warm, cold) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "case {case}: {alg:?}"),
+                (Err(x), Err(y)) => {
+                    assert_eq!(x.max_flow, y.max_flow, "case {case}: {alg:?}");
+                    assert_eq!(x.cost, y.cost, "case {case}: {alg:?}");
+                }
+                other => panic!("case {case}: warm start changed outcome ({alg:?}): {other:?}"),
+            }
+        }
+    }
+}
+
+/// Warm starts must also be safe across *unrelated* graphs: interleave
+/// solves of structurally different instances (sizes 2..=12) through one
+/// retained solver and check each against a fresh solve.
+#[test]
+fn warm_start_survives_unrelated_graphs() {
+    let mut rng = SimRng::new(0x77A2);
+    let mut solver = FlowSolver::default();
+    let mut arena = FlowNetwork::new(0);
+    for case in 0..128u32 {
+        let inst = random_instance(&mut rng, 12);
+        let sink = inst.n - 1;
+        arena.reset(inst.n);
+        for &(from, to, cap, cost) in &inst.edges {
+            if from == to && cost < 0 {
+                continue;
+            }
+            arena.add_edge(from, to, cap, cost);
+        }
+        let warm = solver.solve(&mut arena, 0, sink, inst.target);
+        let mut fresh = build(&inst);
+        let cold = min_cost_flow(&mut fresh, 0, sink, inst.target, Algorithm::default());
+        match (warm, cold) {
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "case {case}"),
+            (Err(x), Err(y)) => {
+                assert_eq!(x.max_flow, y.max_flow, "case {case}");
+                assert_eq!(x.cost, y.cost, "case {case}");
+            }
+            other => panic!("case {case}: warm start changed outcome: {other:?}"),
         }
     }
 }

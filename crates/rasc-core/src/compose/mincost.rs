@@ -35,7 +35,7 @@ use super::{
 use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
 use crate::view::SystemView;
 use desim::SimRng;
-use mincostflow::{min_cost_flow, Algorithm, FlowNetwork};
+use mincostflow::{Algorithm, FlowNetwork, FlowSolver};
 use std::sync::Arc;
 
 /// Rates are scaled to integer milli-data-units/second for the solver.
@@ -114,13 +114,17 @@ impl CostMemo {
 }
 
 /// Retained allocations reused across substream solves: the flow-network
-/// arena and the host-cost memo. Composition is called once per request
-/// in the engine's steady state, so this converts the hot path from
-/// allocate-solve-drop to reset-solve.
+/// arena, the host-cost memo, and the flow solver itself (scratch
+/// buffers plus warm-start potentials — successive substream graphs are
+/// rebuilt in the same arena with similar shape, so the previous solve's
+/// potential snapshot usually revalidates and skips the seeding pass).
+/// Composition is called once per request in the engine's steady state,
+/// so this converts the hot path from allocate-solve-drop to reset-solve.
 #[derive(Clone, Debug, Default)]
 struct Scratch {
     net: FlowNetwork,
     costs: CostMemo,
+    solver: FlowSolver,
 }
 
 /// The RASC composer.
@@ -217,7 +221,6 @@ impl MinCostComposer {
 
         // Transfer-edge cost between two hosts, hoisted so the scratch
         // borrows below don't alias `self`.
-        let algorithm = self.algorithm;
         let latencies = self.latencies.clone();
         let hop_cost = |from: usize, to: usize| -> i64 {
             match &latencies {
@@ -228,8 +231,12 @@ impl MinCostComposer {
 
         // Reuse the retained arena and cost memo (reservations between
         // substreams change the view, so the memo scope is one solve).
-        let net = &mut self.scratch.net;
-        let costs = &mut self.scratch.costs;
+        // The retained solver is rebuilt only if the (public) algorithm
+        // selection changed since the last solve.
+        if self.scratch.solver.algorithm() != self.algorithm {
+            self.scratch.solver = FlowSolver::new(self.algorithm);
+        }
+        let Scratch { net, costs, solver } = &mut self.scratch;
         net.reset(2);
         costs.begin(view.len());
         let src = 0usize;
@@ -310,7 +317,7 @@ impl MinCostComposer {
             costs.get(view, req.destination),
         );
 
-        match min_cost_flow(net, src, dst, target, algorithm) {
+        match solver.solve(net, src, dst, target) {
             Ok(_) => {}
             Err(_) => return Err(ComposeError::InsufficientCapacity { substream: l }),
         }
@@ -546,7 +553,11 @@ mod tests {
         let a = run(Algorithm::DijkstraSsp).unwrap();
         let b = run(Algorithm::SpfaSsp).unwrap();
         let c = run(Algorithm::CostScaling).unwrap();
+        let d = run(Algorithm::DialSsp).unwrap();
+        let e = run(Algorithm::CapacityScaling).unwrap();
         assert!((a - b).abs() < 1e-6);
         assert!((a - c).abs() < 1e-6);
+        assert!((a - d).abs() < 1e-6);
+        assert!((a - e).abs() < 1e-6);
     }
 }

@@ -82,7 +82,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             composer: ComposerKind::MinCost,
-            flow_algorithm: Algorithm::DijkstraSsp,
+            flow_algorithm: Algorithm::default(),
             policy: Policy::Llf,
             queue_capacity: 64,
             monitor_window: 50,

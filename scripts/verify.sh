@@ -13,4 +13,9 @@ cargo test -q
 cargo fmt --all -- --check
 cargo clippy --all-targets -- -D warnings
 
+# Microbenchmark smoke run: small fixed-seed iterations; exercises the
+# compose/solver hot paths (including the steady-state zero-allocation
+# assert) without touching the committed BENCH_compose.json.
+cargo run --release -q --bin repro -- bench --quick
+
 echo "verify: all checks passed"
