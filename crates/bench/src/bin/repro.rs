@@ -10,6 +10,7 @@
 //! repro ablation-cpu         # multiple resource constraints (paper's future work)
 //! repro quick                # scaled-down smoke sweep
 //! repro bench                # microbenchmarks -> BENCH_compose.json
+//! repro chaos [--quick]      # audited fault-injection soak matrix
 //! ```
 
 use rasc_bench::{paper_sweep, render_figure, Figure, SweepConfig};
@@ -78,6 +79,7 @@ fn main() {
         "ablation-sched" => ablation_sched(),
         "ablation-split" => ablation_split(),
         "bench" => bench_suite(args.iter().any(|a| a == "--quick")),
+        "chaos" => chaos_soak_cmd(args.iter().any(|a| a == "--quick")),
         name => match Figure::from_arg(name) {
             Some(fig) => {
                 let cells = paper_sweep(&SweepConfig::default());
@@ -87,7 +89,7 @@ fn main() {
                 eprintln!(
                     "unknown mode {name}; use all | quick | fig6..fig11 | \
                      load-matched | ablation-cpu | ablation-sched | ablation-split | \
-                     bench [--quick]"
+                     bench [--quick] | chaos [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -309,6 +311,73 @@ fn bench_suite(quick: bool) {
     let path = "BENCH_compose.json";
     std::fs::write(path, json).expect("write benchmark report");
     println!("wrote {path}");
+}
+
+/// Audited fault-injection soak: seeds × fault profiles × composers,
+/// every run under the full invariant auditor. Exits non-zero on any
+/// violation or if the matrix digest differs between a serial pass and
+/// the worker pool (determinism regression).
+fn chaos_soak_cmd(quick: bool) {
+    use rasc_bench::{chaos_soak_threads, ChaosConfig};
+    use std::time::Instant;
+
+    let cfg = if quick {
+        ChaosConfig::quick()
+    } else {
+        ChaosConfig::default()
+    };
+    let threads = desim::pool::default_threads().max(2);
+    println!(
+        "chaos soak: {} seeds x {} fault plans x {} composers = {} audited runs",
+        cfg.seeds.len(),
+        cfg.profiles.len(),
+        cfg.composers.len(),
+        cfg.runs()
+    );
+    let start = Instant::now();
+    let parallel = chaos_soak_threads(&cfg, threads);
+    let parallel_wall = start.elapsed();
+    let start = Instant::now();
+    let serial = chaos_soak_threads(&cfg, 1);
+    let serial_wall = start.elapsed();
+
+    let mut failed = false;
+    for r in &parallel.runs {
+        if r.violations > 0 {
+            failed = true;
+            eprintln!(
+                "VIOLATIONS seed {} {} {}: {} ({:?})",
+                r.seed,
+                r.profile.label(),
+                r.composer.label(),
+                r.violations,
+                r.messages
+            );
+        }
+    }
+    let checkpoints: u64 = parallel.runs.iter().map(|r| r.checkpoints).sum();
+    println!(
+        "violations: {} | audit checkpoints: {checkpoints} | digest: {:016x}",
+        parallel.violations, parallel.digest
+    );
+    println!(
+        "wall: {:.2}s on {threads} workers, {:.2}s serial",
+        parallel_wall.as_secs_f64(),
+        serial_wall.as_secs_f64()
+    );
+    if serial.digest != parallel.digest {
+        failed = true;
+        eprintln!(
+            "DIGEST MISMATCH: serial {:016x} != parallel {:016x}",
+            serial.digest, parallel.digest
+        );
+    } else {
+        println!("serial and parallel digests match");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos soak clean");
 }
 
 /// Headline comparisons the paper calls out in §4.2.

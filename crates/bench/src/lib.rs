@@ -5,11 +5,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod instances;
 pub mod microbench;
 pub mod sweep;
 
+pub use chaos::{chaos_soak, chaos_soak_threads, ChaosConfig, ChaosSummary};
 pub use figures::{render_figure, Figure, FigureSeries};
 pub use microbench::{bench, bench_config, render_json, Measurement};
 pub use sweep::{paper_sweep, paper_sweep_threads, SweepCell, SweepConfig};

@@ -149,6 +149,14 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of scheduled events that have neither fired nor been
+    /// cancelled — the queue's live backlog. Auditors use this to decide
+    /// whether a simulation still has work pending (liveness) without
+    /// counting cancelled tombstones awaiting compaction.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Number of cancelled entries still awaiting compaction off the
     /// heap. Bounded by [`raw_len`](Self::raw_len); monotone growth here
     /// would indicate a cancellation-bookkeeping leak.

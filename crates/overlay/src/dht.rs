@@ -149,6 +149,28 @@ impl<V: Clone + Ord> Dht<V> {
         }
     }
 
+    /// Configured replication degree beyond the owner.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of *alive* members holding a non-empty entry set for `key`
+    /// — the key's effective replication. After churn plus
+    /// [`repair`](Self::repair) this must be back at
+    /// `min(replicas + 1, alive members)` for every stored key; auditors
+    /// check exactly that.
+    pub fn replication_of(&self, overlay: &Overlay, key: NodeKey) -> usize {
+        overlay
+            .alive_members()
+            .filter(|&m| {
+                self.stores
+                    .get(m)
+                    .and_then(|s| s.get(&key))
+                    .is_some_and(|set| !set.is_empty())
+            })
+            .count()
+    }
+
     /// Total number of (key, value) pairs stored across all members
     /// (counting replicas).
     pub fn stored_pairs(&self) -> usize {
@@ -240,6 +262,25 @@ mod tests {
         dht.insert(&ov, 0, key, 7);
         // Owner + 2 replicas.
         assert_eq!(dht.stored_pairs(), 3);
+    }
+
+    #[test]
+    fn replication_recovers_after_churn_and_repair() {
+        let (mut ov, mut dht) = setup(16);
+        let key = stable_hash128(b"replicated-svc");
+        dht.insert(&ov, 0, key, 11);
+        assert_eq!(dht.replication_of(&ov, key), dht.replicas() + 1);
+        // Kill the whole replica group one by one, repairing after each
+        // failure; the key must return to full replication every time.
+        for _ in 0..3 {
+            let owner = ov.owner_of(key);
+            ov.remove(owner);
+            dht.repair(&ov);
+            let want = (dht.replicas() + 1).min(ov.alive_count());
+            assert_eq!(dht.replication_of(&ov, key), want);
+            let alive0 = ov.alive_members().next().unwrap();
+            assert_eq!(dht.lookup(&ov, alive0, key).values, vec![11]);
+        }
     }
 
     #[test]

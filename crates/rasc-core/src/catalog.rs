@@ -122,10 +122,18 @@ impl ServiceDirectory {
     /// replicas keep every other registration discoverable).
     pub fn handle_failure(&mut self, overlay: &Overlay, failed: NodeId) {
         let served = std::mem::take(&mut self.offers[failed]);
+        // Repair FIRST, then remove. Repair consolidates every key onto
+        // its *current* replica group and clears all other stores;
+        // removal only touches the current group. In the other order, a
+        // stale copy outside the group — left behind when an earlier
+        // failure shifted a key's owner and re-anchored its replica
+        // neighborhood — survives the removal, and the repair then
+        // resurrects the dead provider from it (found by the chaos
+        // auditor's registry check under double churn).
+        self.dht.repair(overlay);
         for s in served {
             self.dht.remove(overlay, self.keys[s], &failed);
         }
-        self.dht.repair(overlay);
     }
 
     /// Mean number of providers per service (the paper's "replication
@@ -133,6 +141,39 @@ impl ServiceDirectory {
     pub fn mean_replication(&self) -> f64 {
         let total: usize = (0..self.keys.len()).map(|s| self.providers(s).len()).sum();
         total as f64 / self.keys.len() as f64
+    }
+
+    /// Registry-consistency audit: cross-checks DHT discovery against the
+    /// ground-truth provider lists and verifies each registered service's
+    /// effective replication degree. Returns one message per violation
+    /// (empty = consistent). Used by the chaos auditor after churn; unlike
+    /// [`discover`](Self::discover), this is an oracle check and charges
+    /// nothing to the network.
+    pub fn audit(&self, overlay: &Overlay) -> Vec<String> {
+        let mut violations = Vec::new();
+        let Some(from) = overlay.alive_members().next() else {
+            return violations; // no vantage point left to query from
+        };
+        for s in 0..self.keys.len() {
+            let truth = self.providers(s);
+            let (mut found, _) = self.discover(overlay, from, s);
+            found.sort_unstable();
+            if found != truth {
+                violations.push(format!(
+                    "registry: service {s} discovery {found:?} != providers {truth:?}"
+                ));
+            }
+            if !truth.is_empty() {
+                let want = (self.dht.replicas() + 1).min(overlay.alive_count());
+                let got = self.dht.replication_of(overlay, self.keys[s]);
+                if got < want {
+                    violations.push(format!(
+                        "registry: service {s} replicated on {got} alive nodes, want {want}"
+                    ));
+                }
+            }
+        }
+        violations
     }
 }
 
@@ -194,6 +235,68 @@ mod tests {
         assert_eq!(dir.providers(1), vec![0, 1]);
         let (found, _) = dir.discover(&ov, 2, 2);
         assert_eq!(found, vec![2]);
+    }
+
+    #[test]
+    fn audit_passes_through_failure_churn() {
+        let catalog = ServiceCatalog::synthetic(6, 3);
+        let mut ov = Overlay::build(16, 3, &flat);
+        let mut dir = ServiceDirectory::random_assignment(&catalog, &ov, 16, 3, 3);
+        assert_eq!(dir.audit(&ov), Vec::<String>::new());
+        // Kill a third of the membership with proper failure handling:
+        // the registry must stay discoverable and fully re-replicated.
+        for v in [2, 7, 11, 14] {
+            ov.remove(v);
+            dir.handle_failure(&ov, v);
+            assert_eq!(dir.audit(&ov), Vec::<String>::new(), "after failing {v}");
+        }
+    }
+
+    #[test]
+    fn audit_detects_stale_registrations() {
+        let catalog = ServiceCatalog::synthetic(4, 5);
+        let mut ov = Overlay::build(12, 5, &flat);
+        let dir = ServiceDirectory::random_assignment(&catalog, &ov, 12, 3, 5);
+        // Fail nodes *without* telling the directory (no re-replication,
+        // stale offers): once a replica group or provider is hit, the
+        // audit must flag the inconsistency. Removing half the membership
+        // guarantees a hit with replication degree 3.
+        let mut flagged = false;
+        for v in 0..6 {
+            ov.remove(v);
+            if !dir.audit(&ov).is_empty() {
+                flagged = true;
+                break;
+            }
+        }
+        assert!(flagged, "audit missed an unrepaired failure");
+    }
+
+    #[test]
+    fn double_provider_failure_cannot_resurrect_registrations() {
+        // Regression: with remove-before-repair in `handle_failure`, the
+        // second of two sequential provider failures could come back
+        // from the dead — the first failure's repair left authoritative
+        // copies anchored to the old owner's ring neighborhood, removal
+        // only cleaned the *new* replica group, and the trailing repair
+        // resurrected the corpse from the stale out-of-group store.
+        for seed in 0..24u64 {
+            let catalog = ServiceCatalog::synthetic(2, seed);
+            let mut ov = Overlay::build(8, seed, &flat);
+            let mut offers = vec![vec![0, 1]; 6];
+            offers.push(vec![]);
+            offers.push(vec![]);
+            let mut dir = ServiceDirectory::explicit(&catalog, &ov, offers);
+            for v in [0usize, 1, 2] {
+                ov.remove(v);
+                dir.handle_failure(&ov, v);
+                assert_eq!(
+                    dir.audit(&ov),
+                    Vec::<String>::new(),
+                    "seed {seed} after failing {v}"
+                );
+            }
+        }
     }
 
     #[test]

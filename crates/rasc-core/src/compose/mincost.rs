@@ -30,12 +30,14 @@
 //! Algorithm 1's "update the node capacities" step.
 
 use super::{
-    apply_reservations, gain_prefix, precheck, with_rollback, ComposeError, Composer, ProviderMap,
+    apply_reservations, for_each_commitment, gain_prefix, precheck, with_rollback, ComposeError,
+    Composer, ProviderMap,
 };
 use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
 use crate::view::SystemView;
 use desim::SimRng;
 use mincostflow::{Algorithm, FlowNetwork, FlowSolver};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Rates are scaled to integer milli-data-units/second for the solver.
@@ -152,13 +154,35 @@ impl Composer for MinCostComposer {
             let mut substream_stages = Vec::with_capacity(req.graph.substreams.len());
             for (l, sub) in req.graph.substreams.iter().enumerate() {
                 let stages = self.compose_substream(req, catalog, providers, view, l)?;
-                // Reserve before the next substream (Algorithm 1).
-                let partial = ExecutionGraph {
-                    substreams: vec![stages.clone()],
-                };
                 let partial_req = one_substream_request(req, l, sub.services.clone());
+                let mut partial = ExecutionGraph {
+                    substreams: vec![stages],
+                };
+                // The layered graph gives a host an independent capacity
+                // arc in every layer that lists it, so one solve may route
+                // flow through several copies of the same host and exceed
+                // its *aggregate* remaining NIC capacity (the coupling
+                // constraint Σ_i g_i·f_{h,i} ≤ r_max(h) is not expressible
+                // as arc capacities). When the solved flow's true ledger
+                // commitment — same-node transfer discounts included —
+                // exceeds what any host has left, re-solve with each
+                // host's capacity split evenly across its roles (safe by
+                // construction, merely conservative); if even that fails,
+                // fall back to an exhaustive single-placement search, so
+                // min-cost still admits anything the single-placement
+                // baselines could (a single placement is a feasible flow).
+                if overcommits_a_host(&partial_req, catalog, view, &partial) {
+                    partial.substreams[0] =
+                        match self.compose_substream_conservative(req, catalog, providers, view, l)
+                        {
+                            Ok(stages) => stages,
+                            Err(e) => single_placement_search(req, catalog, providers, view, l)
+                                .ok_or(e)?,
+                        };
+                }
+                // Reserve before the next substream (Algorithm 1).
                 apply_reservations(&partial_req, catalog, &partial, view);
-                substream_stages.push(stages);
+                substream_stages.push(partial.substreams.pop().expect("one substream"));
             }
             Ok(ExecutionGraph {
                 substreams: substream_stages,
@@ -209,6 +233,45 @@ impl MinCostComposer {
         view: &SystemView,
         l: usize,
     ) -> Result<Vec<Stage>, ComposeError> {
+        self.solve_substream(req, catalog, providers, view, l, None)
+    }
+
+    /// Re-solve with every host's capacity divided by the number of roles
+    /// (source, destination, candidate layers) it plays in this
+    /// substream: each role then stays within its share per NIC
+    /// dimension, so their sum cannot exceed the host's remaining
+    /// capacity no matter how the flow distributes.
+    fn compose_substream_conservative(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &SystemView,
+        l: usize,
+    ) -> Result<Vec<Stage>, ComposeError> {
+        let mut roles: HashMap<simnet::NodeId, f64> = HashMap::new();
+        *roles.entry(req.source).or_default() += 1.0;
+        *roles.entry(req.destination).or_default() += 1.0;
+        for &service in &req.graph.substreams[l].services {
+            for &host in &providers[&service] {
+                *roles.entry(host).or_default() += 1.0;
+            }
+        }
+        self.solve_substream(req, catalog, providers, view, l, Some(&roles))
+    }
+
+    fn solve_substream(
+        &mut self,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        providers: &ProviderMap,
+        view: &SystemView,
+        l: usize,
+        shrink: Option<&HashMap<simnet::NodeId, f64>>,
+    ) -> Result<Vec<Stage>, ComposeError> {
+        let share = |host: simnet::NodeId| -> f64 {
+            shrink.map_or(1.0, |r| r.get(&host).copied().unwrap_or(1.0))
+        };
         let services = &req.graph.substreams[l].services;
         let gains = gain_prefix(catalog, services);
         let delivery_gain = gains[services.len()];
@@ -249,7 +312,7 @@ impl MinCostComposer {
         net.add_edge(
             src,
             src_gate,
-            to_milli(view.out_rate_capacity(req.source, req.unit_bits)),
+            to_milli(view.out_rate_capacity(req.source, req.unit_bits) / share(req.source)),
             costs.get(view, req.source),
         );
 
@@ -269,7 +332,7 @@ impl MinCostComposer {
                 // Native r_max expressed in source units (divide by gain),
                 // bounded by the host's NICs and (when enabled) its CPU.
                 let native = view.max_rate_with_cpu(host, req.unit_bits, ratio, exec_secs);
-                let cap = to_milli(native / gains[i]);
+                let cap = to_milli(native / share(host) / gains[i]);
                 if cap <= 0 {
                     continue;
                 }
@@ -313,7 +376,11 @@ impl MinCostComposer {
         net.add_edge(
             dst_gate,
             dst,
-            to_milli(view.in_rate_capacity(req.destination, req.unit_bits) / delivery_gain),
+            to_milli(
+                view.in_rate_capacity(req.destination, req.unit_bits)
+                    / share(req.destination)
+                    / delivery_gain,
+            ),
             costs.get(view, req.destination),
         );
 
@@ -350,6 +417,146 @@ impl MinCostComposer {
 #[inline]
 fn to_milli(rate: f64) -> i64 {
     (rate.max(0.0) * RATE_SCALE).floor() as i64
+}
+
+/// Whether the solved substream's aggregate demand on any host exceeds
+/// its remaining availability. Per layer the flow respects the capacity
+/// arcs, so an overshoot can only come from one host carrying flow in
+/// several layers (plus possibly serving as an endpoint) of the same
+/// solve. Demand is the *ledger* commitment ([`for_each_commitment`],
+/// same-node transfer discounts included) — exactly what the engine
+/// will commit on admission — so passing this check per substream
+/// guarantees, by induction over substreams, that the admission bound
+/// (committed ≤ capacity × headroom) holds. `req`/`graph` must be the
+/// single-substream pair.
+fn overcommits_a_host(
+    req: &ServiceRequest,
+    catalog: &ServiceCatalog,
+    view: &SystemView,
+    graph: &ExecutionGraph,
+) -> bool {
+    let mut used: HashMap<simnet::NodeId, (f64, f64, f64)> = HashMap::new();
+    for_each_commitment(catalog, req, graph, &mut |v, din, dout, dcpu| {
+        let e = used.entry(v).or_default();
+        e.0 += din;
+        e.1 += dout;
+        e.2 += dcpu;
+    });
+    // Solver rounding grants at most ~one milli-unit per arc; stay well
+    // inside the auditor's admission-bound slack.
+    let eps = 32.0;
+    used.iter().any(|(&host, &(in_bits, out_bits, cpu))| {
+        in_bits > view.avail(host).get(0) + eps
+            || out_bits > view.avail(host).get(1) + eps
+            || cpu > view.cpu_avail(host) + 1e-9
+    })
+}
+
+/// Shared context of one exhaustive single-placement search.
+struct SearchCtx<'a> {
+    req: &'a ServiceRequest,
+    catalog: &'a ServiceCatalog,
+    providers: &'a ProviderMap,
+    services: &'a [usize],
+    gains: &'a [f64],
+    source_rate: f64,
+}
+
+/// Last-resort fallback for one substream: backtracking search over
+/// every feasible single-placement assignment, mirroring the baselines'
+/// sequential feasibility rule (`compose_single_placement`). Complete
+/// over single placements, so whenever the greedy or random baseline
+/// could place this substream — whatever hosts they happened to pick —
+/// this search finds an assignment too, and min-cost keeps its
+/// dominance over them even when the coupled re-solves fail. Sequential
+/// reservation keeps it within the admission bound by the same argument
+/// that covers the baselines.
+fn single_placement_search(
+    req: &ServiceRequest,
+    catalog: &ServiceCatalog,
+    providers: &ProviderMap,
+    view: &SystemView,
+    l: usize,
+) -> Option<Vec<Stage>> {
+    let services = &req.graph.substreams[l].services;
+    let gains = gain_prefix(catalog, services);
+    let delivery_gain = gains[services.len()];
+    let source_rate = req.rates[l] / delivery_gain;
+    if view.out_rate_capacity(req.source, req.unit_bits) < source_rate
+        || view.in_rate_capacity(req.destination, req.unit_bits) < req.rates[l]
+    {
+        return None;
+    }
+    let mut scratch = view.clone();
+    scratch.reserve_source(req.source, req.unit_bits, source_rate);
+    scratch.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
+    let ctx = SearchCtx {
+        req,
+        catalog,
+        providers,
+        services,
+        gains: &gains,
+        source_rate,
+    };
+    let mut chosen = Vec::with_capacity(services.len());
+    // Backtracking is exponential in the worst case; the budget bounds
+    // pathological catalogs (hundreds of providers per service) without
+    // touching realistic ones, which explore a few dozen candidates.
+    let mut budget = 10_000usize;
+    if !place_from(&ctx, &scratch, 0, &mut chosen, &mut budget) {
+        return None;
+    }
+    Some(
+        services
+            .iter()
+            .zip(&chosen)
+            .enumerate()
+            .map(|(i, (&service, &node))| Stage {
+                service,
+                placements: vec![Placement {
+                    node,
+                    rate: ctx.source_rate * ctx.gains[i],
+                }],
+            })
+            .collect(),
+    )
+}
+
+/// Recursive step of [`single_placement_search`]: place stage `i` on
+/// each feasible host in turn, reserving into a fresh scratch view so
+/// deeper stages see the choice, and backtrack on dead ends.
+fn place_from(
+    ctx: &SearchCtx<'_>,
+    view: &SystemView,
+    i: usize,
+    chosen: &mut Vec<simnet::NodeId>,
+    budget: &mut usize,
+) -> bool {
+    if i == ctx.services.len() {
+        return true;
+    }
+    let svc = ctx.catalog.get(ctx.services[i]);
+    let ratio = svc.rate_ratio;
+    let exec_secs = svc.exec_time.as_secs_f64();
+    let ingest = ctx.source_rate * ctx.gains[i];
+    for &host in &ctx.providers[&ctx.services[i]] {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        if view.max_rate_with_cpu(host, ctx.req.unit_bits, ratio, exec_secs) < ingest {
+            continue;
+        }
+        let mut next = view.clone();
+        next.reserve_component(host, ctx.req.unit_bits, ratio, ingest);
+        next.reserve_cpu(host, exec_secs, ingest);
+        chosen.push(host);
+        if place_from(ctx, &next, i + 1, chosen, budget) {
+            return true;
+        }
+        chosen.pop();
+    }
+    false
 }
 
 /// Arc cost of routing through a host: observed drop ratio plus the
@@ -527,6 +734,69 @@ mod tests {
             "{}",
             stage.total_rate()
         );
+    }
+
+    #[test]
+    fn multi_layer_reuse_cannot_overcommit_a_host() {
+        // Host 1 provides layers 0 and 2 (layer 1 lives elsewhere), so
+        // the layered graph offers it two independent capacity arcs. A
+        // rate that fits either arc alone but not both (~122 du/s NICs,
+        // 2 × 80 du/s aggregate) must be rejected: the admission bound
+        // is on the host's aggregate commitment, and before the
+        // overcommit check one solve would happily route through both
+        // copies of the host.
+        let catalog = ServiceCatalog::synthetic(3, 9);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 0: source
+        b.node(kbps(1_000.0), kbps(1_000.0)); // 1: reused host
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 2: middle host
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 3: destination
+        let mut view = SystemView::fresh(&b.build());
+        let providers = providers_for(&[(0, &[1]), (1, &[2]), (2, &[1])]);
+        let before = view.clone();
+        let req = ServiceRequest::chain(&[0, 1, 2], 80.0, 0, 3);
+        let err = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap_err();
+        assert_eq!(err, ComposeError::InsufficientCapacity { substream: 0 });
+        for v in 0..4 {
+            assert_eq!(view.avail(v), before.avail(v), "view mutated at {v}");
+        }
+        // A rate both visits fit together (2 × 50 ≤ 122) is admitted,
+        // and the reused host's reservation covers both visits.
+        let req = ServiceRequest::chain(&[0, 1, 2], 50.0, 0, 3);
+        MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert!(view.in_rate_capacity(1, 8192) < 23.0);
+    }
+
+    #[test]
+    fn falls_back_to_single_placement_when_split_resolve_fails() {
+        // Same shape, but layer 2 has an alternative (congested) host.
+        // The solver prefers routing layers 0 and 2 through host 1,
+        // which overcommits it; the conservative role-split re-solve
+        // also fails (half of host 1's capacity cannot carry layer 0
+        // alone). The single-placement fallback must still admit by
+        // pushing layer 2 onto host 2 — whatever a sequential baseline
+        // can place, min-cost places too.
+        let catalog = ServiceCatalog::synthetic(3, 10);
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 0: source
+        b.node(kbps(1_000.0), kbps(1_000.0)); // 1: preferred host
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 2: congested alternative
+        b.node(kbps(10_000.0), kbps(10_000.0)); // 3: destination
+        let mut view = SystemView::fresh(&b.build());
+        view.set_drop_ratio(2, 0.5);
+        let providers = providers_for(&[(0, &[1]), (1, &[2]), (2, &[1, 2])]);
+        let req = ServiceRequest::chain(&[0, 1, 2], 80.0, 0, 3);
+        let g = MinCostComposer::default()
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        let last = &g.substreams[0][2];
+        assert_eq!(last.placements.len(), 1);
+        assert_eq!(last.placements[0].node, 2, "layer 2 must avoid host 1");
+        assert!((last.total_rate() - 80.0).abs() < 1e-6);
     }
 
     #[test]

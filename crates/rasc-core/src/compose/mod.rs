@@ -208,6 +208,67 @@ pub(crate) fn apply_reservations(
     }
 }
 
+/// Enumerates one application's committed-rate ledger contributions:
+/// calls `f(node, d_in_bits, d_out_bits, d_cpu_cores)` once per entry.
+/// The engine's `install_app` adds these, `handle_app_stop` subtracts
+/// them, the auditor recomputes the ledger from the live applications,
+/// and the min-cost composer checks a candidate substream against the
+/// remaining availability — one formula, so the books cannot drift.
+///
+/// A component's NIC demand excludes the share of traffic that stays on
+/// the same node between consecutive stages (same-node transfers are
+/// in-memory; see the engine's `send_unit`). Under WRR dispatch, the
+/// fraction of stage-i traffic on node X that came from X's own
+/// stage-(i−1) component is X's rate share in stage i−1, and
+/// symmetrically for the outgoing side.
+pub(crate) fn for_each_commitment(
+    catalog: &ServiceCatalog,
+    req: &ServiceRequest,
+    graph: &ExecutionGraph,
+    f: &mut dyn FnMut(NodeId, f64, f64, f64),
+) {
+    let unit_bits = req.unit_bits as f64;
+    let share_of = |stage: &crate::model::Stage, node: NodeId| -> f64 {
+        let total = stage.total_rate();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        stage
+            .placements
+            .iter()
+            .find(|p| p.node == node)
+            .map_or(0.0, |p| p.rate / total)
+    };
+    for (l, stages) in graph.substreams.iter().enumerate() {
+        let services = &req.graph.substreams[l].services;
+        let g = gain_prefix(catalog, services);
+        let src_rate = req.rates[l] / g[services.len()];
+        f(req.source, 0.0, src_rate * unit_bits, 0.0);
+        f(req.destination, req.rates[l] * unit_bits, 0.0, 0.0);
+        for (i, stage) in stages.iter().enumerate() {
+            let svc = catalog.get(stage.service);
+            let ratio = svc.rate_ratio;
+            let exec_secs = svc.exec_time.as_secs_f64();
+            for p in &stage.placements {
+                let from_self = match i {
+                    0 => 0.0, // stage 0 receives from the source node
+                    _ => share_of(&stages[i - 1], p.node),
+                };
+                let to_self = match stages.get(i + 1) {
+                    Some(next) => share_of(next, p.node),
+                    None => 0.0, // last stage sends to the destination
+                };
+                f(
+                    p.node,
+                    p.rate * unit_bits * (1.0 - from_self),
+                    p.rate * ratio * unit_bits * (1.0 - to_self),
+                    p.rate * exec_secs,
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,311 @@
+//! Seeded fault-injection plans: first-class simulation events.
+//!
+//! The paper's evaluation lives on shared PlanetLab hosts whose usable
+//! bandwidth "changes dynamically depending on the load of the peer"
+//! (§3.2) and whose nodes come and go. A [`FaultPlan`] scripts exactly
+//! that state of the world as deterministic simulation events — node
+//! crashes, NIC bandwidth degradation and restoration, link latency
+//! spikes, and overlay (control-plane) message loss — so stress scenarios
+//! replay bit-for-bit from a seed. Plans are either hand-written or drawn
+//! from a [`FaultProfile`] by [`FaultPlan::generate`].
+
+use desim::{SimDuration, SimRng, SimTime};
+use simnet::NodeId;
+
+/// One injectable fault (or its scheduled recovery).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Crash-stop a node: overlay routes around it, its registrations are
+    /// re-replicated, affected applications re-compose (§3.3).
+    Crash(NodeId),
+    /// Scale a node's NIC rates to `factor` of their pristine capacities
+    /// (other tenants of the shared host eating its bandwidth).
+    Degrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Remaining fraction of the pristine rates, clamped to
+        /// `[0.05, 1.0]` at application time.
+        factor: f64,
+    },
+    /// Restore a degraded node's pristine NIC capacities.
+    Restore(NodeId),
+    /// Multiply the propagation latency of every link touching `node` by
+    /// `factor` for `duration` (re-routing, access-link congestion).
+    LatencySpike {
+        /// The spiked node.
+        node: NodeId,
+        /// Latency multiplier (≥ 1 is typical).
+        factor: f64,
+        /// How long the spike lasts; the engine schedules the calm-down.
+        duration: SimDuration,
+    },
+    /// End a latency spike early. Scheduled automatically by the engine
+    /// when a [`FaultAction::LatencySpike`] fires; exposed for
+    /// hand-written plans.
+    LatencyCalm(NodeId),
+    /// Drop overlay control messages touching `node` with probability
+    /// `prob` for `duration`. Data units are not affected: overlay
+    /// messaging (discovery, stats pulls) has its own delivery path and
+    /// its losses surface as retransmission latency.
+    MessageLoss {
+        /// The lossy node.
+        node: NodeId,
+        /// Per-message loss probability in `[0, 1]`.
+        prob: f64,
+        /// How long the loss window lasts.
+        duration: SimDuration,
+    },
+    /// End a message-loss window early. Scheduled automatically.
+    LossCalm(NodeId),
+}
+
+/// A fault action bound to an absolute simulation time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic schedule of fault events.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled actions, sorted by time (constructors maintain this;
+    /// the engine schedules them verbatim either way).
+    pub events: Vec<FaultEvent>,
+}
+
+/// Families of generated fault plans (the chaos soak's plan axis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultProfile {
+    /// Crash-stop failures only (the paper's §3.3 churn scenario).
+    Crashes,
+    /// Bandwidth degradation with later restoration (flaky shared hosts).
+    Degradations,
+    /// Latency spikes plus overlay message loss (a sick network, healthy
+    /// hosts).
+    LatencyLoss,
+    /// One of everything.
+    Mixed,
+}
+
+impl FaultProfile {
+    /// All profiles, in a fixed order for soak matrices.
+    pub const ALL: [FaultProfile; 4] = [
+        FaultProfile::Crashes,
+        FaultProfile::Degradations,
+        FaultProfile::LatencyLoss,
+        FaultProfile::Mixed,
+    ];
+
+    /// Display label used in soak tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultProfile::Crashes => "crashes",
+            FaultProfile::Degradations => "degrade",
+            FaultProfile::LatencyLoss => "lat+loss",
+            FaultProfile::Mixed => "mixed",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            FaultProfile::Crashes => 0x4652_4153_4301,
+            FaultProfile::Degradations => 0x4652_4153_4302,
+            FaultProfile::LatencyLoss => 0x4652_4153_4303,
+            FaultProfile::Mixed => 0x4652_4153_4304,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an action at `at` seconds, keeping events time-sorted.
+    pub fn at_secs(mut self, at: f64, action: FaultAction) -> Self {
+        self.events.push(FaultEvent {
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at),
+            action,
+        });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Draws a plan from `profile`, deterministic in `(profile, seed)`.
+    ///
+    /// Victims come from `candidates` (typically the processing nodes —
+    /// crashing an endpoint just kills its app, which is a different,
+    /// cheaper test); fault times land inside `[0.2, 0.7] × horizon` so
+    /// the system is warm when they hit and has time to recover before
+    /// teardown audits run.
+    pub fn generate(
+        profile: FaultProfile,
+        seed: u64,
+        candidates: &[NodeId],
+        horizon_secs: f64,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "no fault candidates");
+        let mut rng = SimRng::new(seed ^ profile.salt());
+        let mut plan = FaultPlan::none();
+        let k = (candidates.len() / 4).clamp(1, 3);
+        let victims: Vec<NodeId> = rng
+            .sample_indices(candidates.len(), k)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect();
+        let when = |rng: &mut SimRng| rng.range_f64(0.2, 0.7) * horizon_secs;
+        match profile {
+            FaultProfile::Crashes => {
+                for &v in &victims {
+                    plan = plan.at_secs(when(&mut rng), FaultAction::Crash(v));
+                }
+            }
+            FaultProfile::Degradations => {
+                for &v in &victims {
+                    let t = when(&mut rng);
+                    let factor = rng.range_f64(0.15, 0.5);
+                    let hold = rng.range_f64(3.0, 8.0);
+                    plan = plan
+                        .at_secs(t, FaultAction::Degrade { node: v, factor })
+                        .at_secs(t + hold, FaultAction::Restore(v));
+                }
+            }
+            FaultProfile::LatencyLoss => {
+                for &v in &victims {
+                    let t = when(&mut rng);
+                    plan = plan.at_secs(
+                        t,
+                        FaultAction::LatencySpike {
+                            node: v,
+                            factor: rng.range_f64(2.0, 6.0),
+                            duration: SimDuration::from_secs_f64(rng.range_f64(2.0, 6.0)),
+                        },
+                    );
+                    let t2 = when(&mut rng);
+                    plan = plan.at_secs(
+                        t2,
+                        FaultAction::MessageLoss {
+                            node: v,
+                            prob: rng.range_f64(0.1, 0.4),
+                            duration: SimDuration::from_secs_f64(rng.range_f64(2.0, 6.0)),
+                        },
+                    );
+                }
+            }
+            FaultProfile::Mixed => {
+                let pick = |rng: &mut SimRng, victims: &[NodeId]| *rng.choose(victims);
+                let v = pick(&mut rng, &victims);
+                let t = when(&mut rng);
+                let factor = rng.range_f64(0.15, 0.5);
+                let hold = rng.range_f64(3.0, 8.0);
+                plan = plan
+                    .at_secs(t, FaultAction::Degrade { node: v, factor })
+                    .at_secs(t + hold, FaultAction::Restore(v));
+                let v = pick(&mut rng, &victims);
+                plan = plan.at_secs(
+                    when(&mut rng),
+                    FaultAction::LatencySpike {
+                        node: v,
+                        factor: rng.range_f64(2.0, 6.0),
+                        duration: SimDuration::from_secs_f64(rng.range_f64(2.0, 6.0)),
+                    },
+                );
+                let v = pick(&mut rng, &victims);
+                plan = plan.at_secs(
+                    when(&mut rng),
+                    FaultAction::MessageLoss {
+                        node: v,
+                        prob: rng.range_f64(0.1, 0.4),
+                        duration: SimDuration::from_secs_f64(rng.range_f64(2.0, 6.0)),
+                    },
+                );
+                // The crash goes last-drawn but may fire any time; keep
+                // it after the degradation draw so victims differ often.
+                let v = pick(&mut rng, &victims);
+                plan = plan.at_secs(when(&mut rng), FaultAction::Crash(v));
+            }
+        }
+        plan
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_profile() {
+        let nodes: Vec<NodeId> = (0..8).collect();
+        for profile in FaultProfile::ALL {
+            let a = FaultPlan::generate(profile, 7, &nodes, 30.0);
+            let b = FaultPlan::generate(profile, 7, &nodes, 30.0);
+            let c = FaultPlan::generate(profile, 8, &nodes, 30.0);
+            assert_eq!(a, b, "{profile:?} not deterministic");
+            assert_ne!(a, c, "{profile:?} ignores the seed");
+            assert!(!a.is_empty());
+            // Sorted, inside the injection window.
+            for w in a.events.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+            for e in &a.events {
+                assert!(e.at >= SimTime::ZERO + SimDuration::from_secs_f64(0.2 * 30.0));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_draw_their_advertised_faults() {
+        let nodes: Vec<NodeId> = (0..12).collect();
+        let crashes = FaultPlan::generate(FaultProfile::Crashes, 1, &nodes, 30.0);
+        assert!(crashes
+            .events
+            .iter()
+            .all(|e| matches!(e.action, FaultAction::Crash(_))));
+        let degr = FaultPlan::generate(FaultProfile::Degradations, 1, &nodes, 30.0);
+        let degrades = degr
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Degrade { .. }))
+            .count();
+        let restores = degr
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Restore(_)))
+            .count();
+        assert!(degrades >= 1);
+        assert_eq!(degrades, restores, "every degradation is restored");
+        let mixed = FaultPlan::generate(FaultProfile::Mixed, 1, &nodes, 30.0);
+        assert!(mixed
+            .events
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::Crash(_))));
+        assert!(mixed
+            .events
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::Degrade { .. })));
+    }
+
+    #[test]
+    fn manual_plans_stay_sorted() {
+        let plan = FaultPlan::none()
+            .at_secs(9.0, FaultAction::Crash(2))
+            .at_secs(3.0, FaultAction::Restore(1))
+            .at_secs(6.0, FaultAction::Crash(0));
+        let times: Vec<f64> = plan.events.iter().map(|e| e.at.as_secs_f64()).collect();
+        assert_eq!(times, vec![3.0, 6.0, 9.0]);
+    }
+}

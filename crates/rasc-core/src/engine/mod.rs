@@ -20,9 +20,13 @@
 //!
 //! Everything is deterministic in the engine seed.
 
+mod audit;
+mod fault;
 mod trace;
 mod wrr;
 
+pub use audit::{fnv1a64, AuditReport};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultProfile};
 pub use trace::{Trace, TraceEvent};
 pub use wrr::{ChunkedWrr, Wrr};
 
@@ -31,12 +35,13 @@ use crate::compose::{gain_prefix, ComposeError, Composer, ComposerKind, Provider
 use crate::metrics::{DropCause, RunReport, SubstreamTracker};
 use crate::model::{AppId, ExecutionGraph, ServiceCatalog, ServiceRequest};
 use crate::view::SystemView;
-use desim::{run, EventQueue, SimDuration, SimRng, SimTime, World};
+use audit::Auditor;
+use desim::{run, run_until, EventQueue, SimDuration, SimRng, SimTime, StepOutcome, World};
 use mincostflow::Algorithm;
 use monitor::{Ewma, OutcomeWindow, RateEstimator, ThroughputMeter};
 use overlay::Overlay;
 use sched::{make_scheduler, Job, JobMeta, Policy, Scheduler};
-use simnet::{mbps, Network, NetworkConfig, NodeId, SendOutcome, Topology};
+use simnet::{mbps, Network, NetworkConfig, NodeId, NodeSpec, SendOutcome, Topology};
 use std::collections::HashMap;
 
 /// Tunables for an engine run (defaults follow the paper's setup).
@@ -74,8 +79,24 @@ pub struct EngineConfig {
     /// paper's evaluated configuration); CPU contention then manifests
     /// purely at runtime through queueing and laxity drops.
     pub cpu_cores: Option<f64>,
+    /// Enables the [`SystemAuditor`](AuditReport): checkpointed global
+    /// invariant checks (unit conservation, ledger consistency, rollback
+    /// exactness, sequence exactly-once, queue liveness). Off by default
+    /// (zero cost: no auditor is allocated and no event is scheduled);
+    /// the default honours the `RASC_AUDIT=1` environment variable so an
+    /// entire test run can be audited without touching code.
+    pub audit: bool,
+    /// Seconds of simulated time between audit checkpoints.
+    pub audit_period_secs: f64,
     /// Network model tunables.
     pub net: NetworkConfig,
+}
+
+/// Whether `RASC_AUDIT` asks for audited runs by default.
+fn audit_from_env() -> bool {
+    std::env::var("RASC_AUDIT")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
 }
 
 impl Default for EngineConfig {
@@ -94,6 +115,8 @@ impl Default for EngineConfig {
             split_chunk: 16,
             background: None,
             cpu_cores: None,
+            audit: audit_from_env(),
+            audit_period_secs: 2.0,
             net: NetworkConfig::default(),
         }
     }
@@ -146,6 +169,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     topology: Option<Topology>,
     offers: Option<Vec<Vec<usize>>>,
+    faults: FaultPlan,
 }
 
 impl EngineBuilder {
@@ -174,6 +198,12 @@ impl EngineBuilder {
         self
     }
 
+    /// Schedules a fault plan's events into the simulation up front.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
         let EngineBuilder {
@@ -183,6 +213,7 @@ impl EngineBuilder {
             config,
             topology,
             offers,
+            faults,
         } = self;
         let topology =
             topology.unwrap_or_else(|| Topology::planetlab_like(n, mbps(1.0), mbps(10.0), seed));
@@ -214,6 +245,7 @@ impl EngineBuilder {
             }
             other => other.build(),
         };
+        let base_specs: Vec<NodeSpec> = (0..n).map(|v| topology.spec(v)).collect();
         let net = Network::new(
             topology,
             NetworkConfig {
@@ -240,6 +272,8 @@ impl EngineBuilder {
             })
             .collect();
         let mut queue = EventQueue::new();
+        let auditor = config.audit.then(|| Box::new(Auditor::new()));
+        let audit_period = SimDuration::from_secs_f64(config.audit_period_secs.max(0.05));
         let mut state = EngineState {
             now: SimTime::ZERO,
             catalog,
@@ -252,6 +286,14 @@ impl EngineBuilder {
             apps: Vec::new(),
             report: RunReport::default(),
             trace: None,
+            in_flight_net: 0,
+            control_drops_out: 0,
+            control_drops_in: 0,
+            control_lost: 0,
+            loss_prob: vec![0.0; n],
+            base_specs,
+            auditor,
+            draining: false,
             config,
         };
         if let Some(bg) = state.config.background.clone() {
@@ -261,6 +303,12 @@ impl EngineBuilder {
                     SimDuration::from_secs_f64(state.rng.exp(1.0 / bg.off_mean_secs.max(0.01)));
                 queue.schedule(SimTime::ZERO + delay, Event::BgPhase { node: v, on: true });
             }
+        }
+        for ev in &faults.events {
+            queue.schedule(ev.at, Event::Fault(ev.action.clone()));
+        }
+        if state.auditor.is_some() {
+            queue.schedule(SimTime::ZERO + audit_period, Event::AuditTick);
         }
         Engine { state, queue }
     }
@@ -366,6 +414,10 @@ enum Event {
     BgPhase { node: NodeId, on: bool },
     /// One cross-traffic pulse on an ON-phase node.
     BgPulse { node: NodeId },
+    /// An injected fault (or its scheduled recovery) fires.
+    Fault(FaultAction),
+    /// Periodic auditor checkpoint (scheduled only when auditing).
+    AuditTick,
 }
 
 struct EngineState {
@@ -380,6 +432,28 @@ struct EngineState {
     apps: Vec<AppState>,
     report: RunReport,
     trace: Option<Trace>,
+    /// Data units currently traversing the network (or same-node IPC):
+    /// incremented per scheduled `UnitArrive`, decremented when it fires.
+    /// Part of the auditor's conservation equation, but maintained
+    /// unconditionally — it is two integer ops per unit.
+    in_flight_net: u64,
+    /// Control-plane messages lost to NIC overflow, by charged side.
+    /// Keeps NIC drop counters attributable: every `stats(v).drops_*`
+    /// is either a data-unit drop (in `report.drops`) or one of these.
+    control_drops_out: u64,
+    control_drops_in: u64,
+    /// Control-plane messages lost to injected message-loss windows.
+    control_lost: u64,
+    /// Per-node control-message loss probability (fault injection).
+    loss_prob: Vec<f64>,
+    /// Pristine NIC specs, for degrade/restore faults.
+    base_specs: Vec<NodeSpec>,
+    /// The invariant checker, when `config.audit` is set. Boxed so the
+    /// disabled path carries one dead pointer, nothing more.
+    auditor: Option<Box<Auditor>>,
+    /// Set by `quiesce`: reject further submissions so the event backlog
+    /// can drain to empty for the teardown audit.
+    draining: bool,
     config: EngineConfig,
 }
 
@@ -401,6 +475,7 @@ impl Engine {
             config: EngineConfig::default(),
             topology: None,
             offers: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -511,7 +586,110 @@ impl Engine {
             .map(|t| (t.delivered(), t.out_of_order(), t.timely()))
             .collect()
     }
+
+    /// Schedules a fault plan's events into the running simulation.
+    pub fn schedule_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in &plan.events {
+            self.queue.schedule(ev.at, Event::Fault(ev.action.clone()));
+        }
+    }
+
+    /// Degrades node `v`'s NIC rates to `factor` of pristine *now*
+    /// (see [`FaultAction::Degrade`]).
+    pub fn degrade_node(&mut self, v: NodeId, factor: f64) {
+        let now = self.state.now;
+        self.state.handle_degrade(now, v, factor, &mut self.queue);
+    }
+
+    /// Restores node `v`'s pristine NIC rates *now*.
+    pub fn restore_node(&mut self, v: NodeId) {
+        let now = self.state.now;
+        self.state.handle_restore(now, v);
+    }
+
+    /// Sets node `v`'s control-message loss probability *now* (sticky
+    /// until changed; [`FaultAction::MessageLoss`] windows self-expire).
+    pub fn set_message_loss(&mut self, v: NodeId, prob: f64) {
+        self.state.loss_prob[v] = prob.clamp(0.0, 1.0);
+    }
+
+    /// Control-plane messages lost to injected message-loss windows.
+    pub fn control_messages_lost(&self) -> u64 {
+        self.state.control_lost
+    }
+
+    /// The auditor's report so far, when auditing is enabled.
+    pub fn audit_report(&self) -> Option<AuditReport> {
+        self.state.auditor.as_ref().map(|a| a.report.clone())
+    }
+
+    /// Stops every active application and silences the background-load
+    /// generators so the event backlog can drain. Further submissions
+    /// are rejected.
+    pub fn quiesce(&mut self) {
+        for app in 0..self.state.apps.len() {
+            if self.state.apps[app].active {
+                self.state.handle_app_stop(app);
+            }
+        }
+        self.state.config.background = None;
+        for p in &mut self.state.loss_prob {
+            *p = 0.0;
+        }
+        self.state.draining = true;
+    }
+
+    /// Ends the run: quiesces, drains the event backlog to empty, and
+    /// performs the auditor's teardown check (liveness: no stranded
+    /// events or units). Returns the audit report — empty and clean when
+    /// auditing is disabled.
+    pub fn finish_run(&mut self) -> AuditReport {
+        self.quiesce();
+        let (t, outcome) = run_until(&mut self.state, &mut self.queue, SimTime::MAX, 200_000_000);
+        self.state.now = self.state.now.max(t);
+        let drained = outcome == StepOutcome::Drained;
+        match self.state.auditor.take() {
+            Some(mut aud) => {
+                aud.final_check(&self.state, &self.queue, drained);
+                let report = aud.report.clone();
+                self.state.auditor = Some(aud);
+                report
+            }
+            None => AuditReport::default(),
+        }
+    }
+
+    /// A deterministic digest of the run's observable outcome: counters,
+    /// drop breakdown, event-queue totals, and audit checkpoints. Two
+    /// runs with the same seed and fault plan must produce bit-identical
+    /// digests, regardless of worker-thread count.
+    pub fn run_digest(&self) -> u64 {
+        let r = self.report();
+        let mut words: Vec<u64> = vec![
+            r.composed,
+            r.rejected,
+            r.generated,
+            r.delivered,
+            r.timely,
+            r.out_of_order,
+            r.components,
+            r.split_requests,
+            r.recompositions,
+        ];
+        words.extend_from_slice(&r.drops);
+        words.push(self.queue.total_scheduled());
+        words.push(self.queue.total_fired());
+        if let Some(aud) = &self.state.auditor {
+            words.push(aud.report.checkpoints);
+            words.push(aud.report.violation_count());
+        }
+        fnv1a64(words)
+    }
 }
+
+// The committed-rate ledger formula shared with the composers and the
+// auditor (`audit.rs` reaches it as `super::for_each_commitment`).
+pub(crate) use crate::compose::for_each_commitment;
 
 impl World for EngineState {
     type Event = Event;
@@ -529,6 +707,8 @@ impl World for EngineState {
             Event::CpuDone { node } => self.handle_cpu_done(now, node, q),
             Event::BgPhase { node, on } => self.handle_bg_phase(now, node, on, q),
             Event::BgPulse { node } => self.handle_bg_pulse(now, node, q),
+            Event::Fault(action) => self.handle_fault(now, action, q),
+            Event::AuditTick => self.handle_audit_tick(now, q),
         }
     }
 }
@@ -541,6 +721,12 @@ impl EngineState {
         req: ServiceRequest,
         q: &mut EventQueue<Event>,
     ) -> Result<AppId, ComposeError> {
+        if self.draining {
+            // Teardown is in progress; starting a new application now
+            // would emit forever and the backlog could never drain.
+            self.report.rejected += 1;
+            return Err(ComposeError::InsufficientCapacity { substream: 0 });
+        }
         if let Err(_e) = req.validate(&self.catalog) {
             self.report.rejected += 1;
             return Err(ComposeError::UnknownService(usize::MAX));
@@ -583,6 +769,10 @@ impl EngineState {
         // Step 3: compose against the measured availability + drop
         // feedback snapshot (§3.2).
         let mut view = self.measured_view(now);
+        // Rollback-exactness audit: a rejected composition must leave the
+        // view bit-equal to this snapshot (composers roll back their own
+        // partial reservations via the view's undo journal).
+        let audit_backup = self.auditor.is_some().then(|| view.clone());
         match self
             .composer
             .compose(&req, &self.catalog, &providers, &mut view, &mut self.rng)
@@ -611,6 +801,13 @@ impl EngineState {
             }
             Err(e) => {
                 self.report.rejected += 1;
+                if let (Some(aud), Some(backup)) = (self.auditor.as_mut(), audit_backup.as_ref()) {
+                    if view != *backup {
+                        aud.violation(format!(
+                            "rollback: view not bit-equal after rejected compose ({e})"
+                        ));
+                    }
+                }
                 if let Some(tr) = &mut self.trace {
                     tr.record(
                         now,
@@ -630,11 +827,23 @@ impl EngineState {
         match self.net.send(now, from, to, self.config.control_bits) {
             SendOutcome::Delivered(t) => {
                 self.record_traffic(now, from, to, self.config.control_bits, true);
+                // Injected message loss strikes *after* the NICs accepted
+                // the message (lost in transit), so the per-node traffic
+                // and drop counters stay attributable; the overlay
+                // retransmits, surfacing as added control latency.
+                let loss = self.loss_prob[from].max(self.loss_prob[to]);
+                if loss > 0.0 && self.rng.chance(loss) {
+                    self.control_lost += 1;
+                    return now + SimDuration::from_millis(500);
+                }
                 t
             }
             SendOutcome::Dropped(reason) => {
                 if reason == simnet::DropReason::ReceiverOverflow {
                     self.record_traffic(now, from, to, self.config.control_bits, false);
+                    self.control_drops_in += 1;
+                } else {
+                    self.control_drops_out += 1;
                 }
                 now + SimDuration::from_millis(200)
             }
@@ -745,48 +954,18 @@ impl EngineState {
         let mut stage_count = Vec::new();
         let mut source_period = Vec::new();
         let mut gains = Vec::new();
+        {
+            let nodes = &mut self.nodes;
+            for_each_commitment(&self.catalog, &req, &graph, &mut |v, din, dout, dcpu| {
+                nodes[v].committed_in += din;
+                nodes[v].committed_out += dout;
+                nodes[v].committed_cpu += dcpu;
+            });
+        }
         for (l, stages) in graph.substreams.iter().enumerate() {
             let services = &req.graph.substreams[l].services;
             let g = gain_prefix(&self.catalog, services);
             let src_rate = req.rates[l] / g[services.len()];
-            let unit_bits = req.unit_bits as f64;
-            self.nodes[req.source].committed_out += src_rate * unit_bits;
-            self.nodes[req.destination].committed_in += req.rates[l] * unit_bits;
-            // A component's NIC demand excludes the share of traffic that
-            // stays on the same node between consecutive stages (same-node
-            // transfers are in-memory; see `send_unit`). Under WRR
-            // dispatch, the fraction of stage-i traffic on node X that
-            // came from X's own stage-(i-1) component is X's rate share
-            // in stage i-1, and symmetrically for the outgoing side.
-            let share_of = |stage: &crate::model::Stage, node: NodeId| -> f64 {
-                let total = stage.total_rate();
-                if total <= 0.0 {
-                    return 0.0;
-                }
-                stage
-                    .placements
-                    .iter()
-                    .find(|p| p.node == node)
-                    .map_or(0.0, |p| p.rate / total)
-            };
-            for (i, stage) in stages.iter().enumerate() {
-                let ratio = self.catalog.get(stage.service).rate_ratio;
-                for p in &stage.placements {
-                    let from_self = match i {
-                        0 => 0.0, // stage 0 receives from the source node
-                        _ => share_of(&stages[i - 1], p.node),
-                    };
-                    let to_self = match stages.get(i + 1) {
-                        Some(next) => share_of(next, p.node),
-                        None => 0.0, // last stage sends to the destination
-                    };
-                    self.nodes[p.node].committed_in += p.rate * unit_bits * (1.0 - from_self);
-                    self.nodes[p.node].committed_out +=
-                        p.rate * ratio * unit_bits * (1.0 - to_self);
-                    self.nodes[p.node].committed_cpu +=
-                        p.rate * self.catalog.get(stage.service).exec_time.as_secs_f64();
-                }
-            }
             // Data units stay 1:1 through components (rate ratios scale
             // unit *size*); the destination therefore paces its schedule
             // by the source's unit rate.
@@ -908,6 +1087,7 @@ impl EngineState {
         }
         if from == to {
             let ipc = SimDuration::from_micros(200);
+            self.in_flight_net += 1;
             q.schedule(now + ipc, Event::UnitArrive { node: to, unit });
             return;
         }
@@ -915,6 +1095,7 @@ impl EngineState {
         match self.net.send(now, from, to, bits) {
             SendOutcome::Delivered(t) => {
                 self.record_traffic(now, from, to, bits, true);
+                self.in_flight_net += 1;
                 q.schedule(t, Event::UnitArrive { node: to, unit });
             }
             SendOutcome::Dropped(simnet::DropReason::SenderOverflow) => {
@@ -936,6 +1117,8 @@ impl EngineState {
         unit: Unit,
         q: &mut EventQueue<Event>,
     ) {
+        // The unit left the network whatever happens to it next.
+        self.in_flight_net = self.in_flight_net.saturating_sub(1);
         if !self.nodes[node].alive {
             self.report.count_drop(DropCause::NodeFailed);
             return;
@@ -944,6 +1127,10 @@ impl EngineState {
         if unit.layer >= stages {
             // Destination delivery (§4.2 metrics).
             debug_assert_eq!(node, self.apps[unit.app].req.destination);
+            if let Some(aud) = self.auditor.as_mut() {
+                let bound = self.apps[unit.app].next_seq[unit.substream];
+                aud.record_delivery(unit.app, unit.substream, unit.seq, bound);
+            }
             self.apps[unit.app].trackers[unit.substream].on_delivery(unit.seq, unit.created, now);
             self.nodes[node].outcomes.record(false);
             return;
@@ -1037,19 +1224,35 @@ impl EngineState {
         // Overlay + registry route around the corpse.
         self.overlay.remove(v);
         self.dir.handle_failure(&self.overlay, v);
-        // Everything on the node dies with it.
+        // Everything on the node dies with it — including the unit that
+        // occupied its CPU, which must be counted like the queued ones or
+        // the data-unit conservation ledger leaks one unit per crash of a
+        // busy node (its CpuDone event still fires, finding nothing).
         let node = &mut self.nodes[v];
         node.alive = false;
         node.bg_load = None;
-        node.running = None;
-        let queued = node.sched.len() as u64;
+        let mut lost = node.sched.len() as u64;
+        if node.running.take().is_some() {
+            lost += 1;
+        }
         node.sched = make_scheduler(self.config.policy, self.config.queue_capacity);
         node.comps.clear();
-        for _ in 0..queued {
+        for _ in 0..lost {
             self.report.count_drop(DropCause::NodeFailed);
         }
-        // Every active application that had a component on `v` — or whose
-        // endpoints lived there — is affected.
+        // Injected degradations die with the node too.
+        self.loss_prob[v] = 0.0;
+        self.net.set_latency_factor(v, 1.0);
+        self.recompose_affected(now, v, q);
+    }
+
+    /// Stops every active application touching `v` and re-submits those
+    /// whose endpoints are still alive (§1's "composes stream processing
+    /// applications dynamically"). Shared by crash-stop and bandwidth
+    /// degradation: after a crash the endpoint-dead applications simply
+    /// stop; under degradation `v` is still alive, so even its own
+    /// endpoints' applications re-compose against the shrunken capacity.
+    fn recompose_affected(&mut self, now: SimTime, v: NodeId, q: &mut EventQueue<Event>) {
         let affected: Vec<AppId> = (0..self.apps.len())
             .filter(|&a| {
                 let app = &self.apps[a];
@@ -1067,7 +1270,7 @@ impl EngineState {
         for app in affected {
             let req = self.apps[app].req.clone();
             self.handle_app_stop(app);
-            if req.source != v && req.destination != v {
+            if self.nodes[req.source].alive && self.nodes[req.destination].alive {
                 self.report.recompositions += 1;
                 if let Ok(new_app) = self.handle_submit(now, req, q) {
                     if let Some(tr) = &mut self.trace {
@@ -1075,6 +1278,89 @@ impl EngineState {
                     }
                 }
             }
+        }
+    }
+
+    /// Applies one injected fault action.
+    fn handle_fault(&mut self, now: SimTime, action: FaultAction, q: &mut EventQueue<Event>) {
+        match action {
+            FaultAction::Crash(v) => self.handle_fail_node(now, v, q),
+            FaultAction::Degrade { node, factor } => self.handle_degrade(now, node, factor, q),
+            FaultAction::Restore(v) => self.handle_restore(now, v),
+            FaultAction::LatencySpike {
+                node,
+                factor,
+                duration,
+            } => {
+                if self.nodes[node].alive {
+                    self.net.set_latency_factor(node, factor.max(1.0));
+                    q.schedule(now + duration, Event::Fault(FaultAction::LatencyCalm(node)));
+                }
+            }
+            FaultAction::LatencyCalm(v) => self.net.set_latency_factor(v, 1.0),
+            FaultAction::MessageLoss {
+                node,
+                prob,
+                duration,
+            } => {
+                if self.nodes[node].alive {
+                    self.loss_prob[node] = prob.clamp(0.0, 1.0);
+                    q.schedule(now + duration, Event::Fault(FaultAction::LossCalm(node)));
+                }
+            }
+            FaultAction::LossCalm(v) => self.loss_prob[v] = 0.0,
+        }
+    }
+
+    /// Degrades a node's NIC rates to `factor` of pristine. If the
+    /// shrunken capacity can no longer honour the ledger's commitments,
+    /// the node's applications re-compose against the degraded
+    /// availability (splitting across other hosts, shedding load, or
+    /// rejecting outright) — the paper's dynamic adaptation is not only
+    /// crash-stop. Within the admission bound the commitments still fit
+    /// and the applications ride out the slowdown in place.
+    fn handle_degrade(&mut self, now: SimTime, v: NodeId, factor: f64, q: &mut EventQueue<Event>) {
+        if !self.nodes[v].alive {
+            return;
+        }
+        let f = factor.clamp(0.05, 1.0);
+        let base = self.base_specs[v];
+        self.net
+            .set_node_bandwidth(v, base.bw_in * f, base.bw_out * f);
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, TraceEvent::Degraded { node: v, factor: f });
+        }
+        let head = self.config.admission_headroom;
+        if self.nodes[v].committed_in > base.bw_in * f * head + 1e-6
+            || self.nodes[v].committed_out > base.bw_out * f * head + 1e-6
+        {
+            self.recompose_affected(now, v, q);
+        }
+    }
+
+    /// Restores a degraded node's pristine NIC rates.
+    fn handle_restore(&mut self, now: SimTime, v: NodeId) {
+        if !self.nodes[v].alive {
+            return;
+        }
+        let base = self.base_specs[v];
+        self.net.set_node_bandwidth(v, base.bw_in, base.bw_out);
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, TraceEvent::Restored { node: v });
+        }
+    }
+
+    /// One auditor checkpoint; reschedules itself while the simulation
+    /// still has work so the cadence survives arbitrarily long runs yet
+    /// lets the backlog drain to empty at teardown.
+    fn handle_audit_tick(&mut self, now: SimTime, q: &mut EventQueue<Event>) {
+        if let Some(mut aud) = self.auditor.take() {
+            aud.checkpoint(self, q);
+            self.auditor = Some(aud);
+        }
+        if q.pending_len() > 0 {
+            let period = SimDuration::from_secs_f64(self.config.audit_period_secs.max(0.05));
+            q.schedule(now + period, Event::AuditTick);
         }
     }
 
@@ -1092,43 +1378,18 @@ impl EngineState {
         }
         let req = self.apps[app].req.clone();
         let graph = self.apps[app].graph.clone();
-        let unit_bits = req.unit_bits as f64;
+        {
+            let nodes = &mut self.nodes;
+            for_each_commitment(&self.catalog, &req, &graph, &mut |v, din, dout, dcpu| {
+                let node = &mut nodes[v];
+                node.committed_in = (node.committed_in - din).max(0.0);
+                node.committed_out = (node.committed_out - dout).max(0.0);
+                node.committed_cpu = (node.committed_cpu - dcpu).max(0.0);
+            });
+        }
         for (l, stages) in graph.substreams.iter().enumerate() {
-            let services = &req.graph.substreams[l].services;
-            let g = gain_prefix(&self.catalog, services);
-            let src_rate = req.rates[l] / g[services.len()];
-            self.nodes[req.source].committed_out -= src_rate * unit_bits;
-            self.nodes[req.destination].committed_in -= req.rates[l] * unit_bits;
-            let share_of = |stage: &crate::model::Stage, node: NodeId| -> f64 {
-                let total = stage.total_rate();
-                if total <= 0.0 {
-                    return 0.0;
-                }
-                stage
-                    .placements
-                    .iter()
-                    .find(|p| p.node == node)
-                    .map_or(0.0, |p| p.rate / total)
-            };
             for (i, stage) in stages.iter().enumerate() {
-                let ratio = self.catalog.get(stage.service).rate_ratio;
                 for p in &stage.placements {
-                    let from_self = match i {
-                        0 => 0.0,
-                        _ => share_of(&stages[i - 1], p.node),
-                    };
-                    let to_self = match stages.get(i + 1) {
-                        Some(next) => share_of(next, p.node),
-                        None => 0.0,
-                    };
-                    self.nodes[p.node].committed_in -= p.rate * unit_bits * (1.0 - from_self);
-                    self.nodes[p.node].committed_out -=
-                        p.rate * ratio * unit_bits * (1.0 - to_self);
-                    self.nodes[p.node].committed_cpu -=
-                        p.rate * self.catalog.get(stage.service).exec_time.as_secs_f64();
-                    self.nodes[p.node].committed_in = self.nodes[p.node].committed_in.max(0.0);
-                    self.nodes[p.node].committed_out = self.nodes[p.node].committed_out.max(0.0);
-                    self.nodes[p.node].committed_cpu = self.nodes[p.node].committed_cpu.max(0.0);
                     self.nodes[p.node].comps.remove(&(app, l, i));
                 }
             }

@@ -47,6 +47,18 @@ pub enum TraceEvent {
         /// The replacement application id (a fresh id).
         new_app: AppId,
     },
+    /// A node's NIC bandwidth degraded to a fraction of nominal.
+    Degraded {
+        /// The node.
+        node: NodeId,
+        /// Remaining fraction of the pristine NIC rates.
+        factor: f64,
+    },
+    /// A degraded node's pristine NIC bandwidth was restored.
+    Restored {
+        /// The node.
+        node: NodeId,
+    },
 }
 
 /// A bounded ring of timestamped control-plane events.
@@ -115,6 +127,10 @@ impl Trace {
                 TraceEvent::AppStopped { app } => ("app_stopped", format!("app={app}")),
                 TraceEvent::NodeFailed { node } => ("node_failed", format!("node={node}")),
                 TraceEvent::Recomposed { new_app } => ("recomposed", format!("new_app={new_app}")),
+                TraceEvent::Degraded { node, factor } => {
+                    ("degraded", format!("node={node} factor={factor:.3}"))
+                }
+                TraceEvent::Restored { node } => ("restored", format!("node={node}")),
             };
             out.push_str(&format!("{:.6},{},{}\n", t.as_secs_f64(), name, detail));
         }

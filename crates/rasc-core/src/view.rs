@@ -18,14 +18,19 @@ use simnet::{NodeId, Topology};
 /// Snapshots (not arithmetic inverses) are required because
 /// [`ResourceVector::consume`] clamps at zero, which a release cannot
 /// invert exactly.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 enum Undo {
     Avail(NodeId, ResourceVector),
     Cpu(NodeId, f64),
 }
 
 /// Per-node availability snapshot used by the composers.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares the full state bit-for-bit (floats by exact
+/// equality) — this is deliberate: the auditor's rollback-exactness check
+/// asserts that a rejected composition leaves the view *bit-equal* to its
+/// pre-compose snapshot, not merely approximately restored.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemView {
     /// Remaining (unreserved) capacity per node: `[b_in, b_out]` bits/s.
     avail: Vec<ResourceVector>,

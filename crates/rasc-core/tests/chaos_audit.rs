@@ -1,0 +1,210 @@
+//! Fault injection under full audit: seeded chaos runs across fault
+//! profiles and composers must finish with zero invariant violations
+//! (unit conservation, ledger consistency, rollback exactness,
+//! exactly-once delivery, event-queue liveness), re-compose under
+//! bandwidth degradation — not only crash-stop — and produce
+//! bit-identical run digests for identical (seed, plan) inputs.
+
+use desim::SimDuration;
+use rasc_core::compose::ComposerKind;
+use rasc_core::engine::{Engine, EngineConfig, FaultPlan, FaultProfile};
+use rasc_core::model::{ServiceCatalog, ServiceRequest};
+use simnet::{kbps, TopologyBuilder};
+
+const PROVIDERS: usize = 6;
+const NODES: usize = PROVIDERS + 2; // + source (6) and destination (7)
+
+/// 6 provider nodes offering both services, 2 endpoint nodes, audit on.
+fn engine(seed: u64, composer: ComposerKind, faults: FaultPlan) -> Engine {
+    let catalog = ServiceCatalog::synthetic(2, seed);
+    let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(15));
+    for _ in 0..NODES {
+        b.node(kbps(2_000.0), kbps(2_000.0));
+    }
+    let mut offers = vec![vec![0, 1]; PROVIDERS];
+    offers.push(vec![]);
+    offers.push(vec![]);
+    Engine::builder(NODES, catalog, seed)
+        .topology(b.build())
+        .offers(offers)
+        .config(EngineConfig {
+            composer,
+            audit: true,
+            audit_period_secs: 1.0,
+            ..Default::default()
+        })
+        .faults(faults)
+        .build()
+}
+
+/// A small mixed workload: two finite streams, one open-ended, one
+/// oversized request that must be rejected (exercising audited
+/// rollback), submitted while faults fire.
+fn drive(e: &mut Engine) {
+    let _ = e.submit(
+        ServiceRequest::chain(&[0, 1], 20.0, PROVIDERS, PROVIDERS + 1)
+            .with_lifetime(SimDuration::from_secs_f64(14.0)),
+    );
+    let _ = e.submit(ServiceRequest::chain(&[0], 15.0, PROVIDERS, PROVIDERS + 1));
+    e.run_for_secs(2.0);
+    let _ = e.submit(
+        ServiceRequest::chain(&[1, 0], 12.0, PROVIDERS, PROVIDERS + 1)
+            .with_lifetime(SimDuration::from_secs_f64(10.0)),
+    );
+    // Far beyond any NIC: rejected, and the auditor checks the rollback.
+    assert!(e
+        .submit(ServiceRequest::chain(
+            &[0, 1],
+            5_000.0,
+            PROVIDERS,
+            PROVIDERS + 1
+        ))
+        .is_err());
+    e.run_for_secs(18.0);
+}
+
+#[test]
+fn chaos_matrix_runs_clean_across_profiles_and_composers() {
+    let candidates: Vec<usize> = (0..PROVIDERS).collect();
+    let mut runs = Vec::new();
+    for seed in [11u64, 22] {
+        for profile in FaultProfile::ALL {
+            runs.push((seed, profile, ComposerKind::MinCost));
+        }
+    }
+    runs.push((33, FaultProfile::Mixed, ComposerKind::Random));
+    runs.push((33, FaultProfile::Mixed, ComposerKind::Greedy));
+    for (seed, profile, composer) in runs {
+        let plan = FaultPlan::generate(profile, seed, &candidates, 20.0);
+        assert!(!plan.is_empty());
+        let mut e = engine(seed, composer, plan);
+        drive(&mut e);
+        let audit = e.finish_run();
+        assert!(
+            audit.clean(),
+            "seed {seed} {} {composer:?}: {:#?}",
+            profile.label(),
+            audit.violations
+        );
+        assert!(audit.final_checked);
+        assert!(audit.checkpoints > 0, "auditor never ran a checkpoint");
+        let r = e.report();
+        assert_eq!(
+            r.generated,
+            r.delivered + r.total_drops(),
+            "seed {seed} {}: units leaked",
+            profile.label()
+        );
+    }
+}
+
+#[test]
+fn degradation_recomposes_without_violations() {
+    let mut e = engine(5, ComposerKind::MinCost, FaultPlan::none());
+    let app = e
+        .submit(ServiceRequest::chain(
+            &[0, 1],
+            60.0,
+            PROVIDERS,
+            PROVIDERS + 1,
+        ))
+        .unwrap();
+    e.run_for_secs(5.0);
+    // Starve the app's first host: its commitments no longer fit, so the
+    // engine must re-compose (the degraded node stays alive).
+    let victim = e.app_graph(app).substreams[0][0].placements[0].node;
+    e.degrade_node(victim, 0.15);
+    assert!(e.node_alive(victim), "degradation is not a crash");
+    assert!(
+        e.report().recompositions >= 1,
+        "no recomposition under bandwidth degradation"
+    );
+    e.run_for_secs(6.0);
+    e.restore_node(victim);
+    e.run_for_secs(4.0);
+    let audit = e.finish_run();
+    assert!(audit.clean(), "{:#?}", audit.violations);
+    assert!(e.report().delivered > 0);
+}
+
+#[test]
+fn crash_with_unit_on_cpu_conserves_every_unit() {
+    // Saturating workload keeps victim CPUs and queues busy, so crashing
+    // them loses in-progress units — which must be accounted as
+    // NodeFailed drops, never leaked (the conservation bug the auditor
+    // originally caught: the running unit vanished uncounted).
+    let mut e = engine(7, ComposerKind::MinCost, FaultPlan::none());
+    let _ = e.submit(ServiceRequest::chain(
+        &[0, 1],
+        80.0,
+        PROVIDERS,
+        PROVIDERS + 1,
+    ));
+    let _ = e.submit(ServiceRequest::chain(&[1], 60.0, PROVIDERS, PROVIDERS + 1));
+    e.run_for_secs(4.0);
+    e.fail_node(0);
+    e.run_for_secs(3.0);
+    e.fail_node(1);
+    e.run_for_secs(8.0);
+    let audit = e.finish_run();
+    assert!(audit.clean(), "{:#?}", audit.violations);
+    let r = e.report();
+    assert!(r.generated > 0);
+    assert_eq!(r.generated, r.delivered + r.total_drops(), "{r:?}");
+}
+
+#[test]
+fn same_seed_and_plan_give_identical_digests() {
+    let candidates: Vec<usize> = (0..PROVIDERS).collect();
+    let digest = |seed: u64| {
+        let plan = FaultPlan::generate(FaultProfile::Mixed, seed, &candidates, 20.0);
+        let mut e = engine(seed, ComposerKind::MinCost, plan);
+        drive(&mut e);
+        let audit = e.finish_run();
+        assert!(audit.clean(), "{:#?}", audit.violations);
+        e.run_digest()
+    };
+    assert_eq!(digest(42), digest(42), "same seed diverged");
+    assert_ne!(digest(42), digest(43), "digest ignores the seed");
+}
+
+#[test]
+fn audit_off_by_default_and_reports_empty() {
+    // Unless RASC_AUDIT is set, no auditor exists and finish_run returns
+    // an empty (clean) report; the digest still works.
+    let audited_env = std::env::var("RASC_AUDIT").is_ok_and(|v| v == "1");
+    let e = engine(3, ComposerKind::MinCost, FaultPlan::none());
+    if !audited_env {
+        let mut plain = Engine::builder(4, ServiceCatalog::synthetic(1, 3), 3).build();
+        assert!(plain.audit_report().is_none());
+        let rep = plain.finish_run();
+        assert!(rep.clean());
+        assert_eq!(rep.checkpoints, 0);
+    }
+    // The explicitly-audited engine reports regardless of environment.
+    assert!(e.audit_report().is_some());
+    let _ = e.run_digest();
+}
+
+#[test]
+fn message_loss_surfaces_as_control_retransmissions_only() {
+    let mut e = engine(9, ComposerKind::MinCost, FaultPlan::none());
+    e.set_message_loss(0, 0.5);
+    e.set_message_loss(1, 0.5);
+    let _ = e.submit(ServiceRequest::chain(
+        &[0, 1],
+        25.0,
+        PROVIDERS,
+        PROVIDERS + 1,
+    ));
+    e.run_for_secs(10.0);
+    assert!(
+        e.control_messages_lost() > 0,
+        "loss windows never dropped a control message"
+    );
+    let audit = e.finish_run();
+    assert!(audit.clean(), "{:#?}", audit.violations);
+    // Data-plane conservation is untouched by control-plane loss.
+    let r = e.report();
+    assert_eq!(r.generated, r.delivered + r.total_drops());
+}

@@ -1,0 +1,98 @@
+//! Split-dispatch striping coverage: sequence numbers fed through a
+//! [`ChunkedWrr`] must be partitioned exactly once across the targets,
+//! in aligned runs of `split_chunk` consecutive numbers, with long-run
+//! shares converging to the flow weights within one chunk round — the
+//! properties the destination-side reordering analysis (and the
+//! auditor's exactly-once delivery check) relies on.
+
+use rasc_core::engine::{ChunkedWrr, Wrr};
+use std::collections::BTreeMap;
+
+/// Dispatches sequence numbers `0..n`, returning the chosen target per
+/// sequence number.
+fn dispatch(targets: &[(usize, f64)], chunk: u32, n: usize) -> Vec<usize> {
+    let mut wrr = ChunkedWrr::new(Wrr::new(targets.to_vec()), chunk);
+    (0..n).map(|_| wrr.pick()).collect()
+}
+
+const CASES: &[(&[(usize, f64)], u32)] = &[
+    (&[(0, 1.0), (1, 1.0)], 1),
+    (&[(0, 3.0), (1, 1.0)], 4),
+    (&[(2, 61.0), (5, 39.0)], 16),
+    (&[(0, 5.0), (1, 2.0), (2, 3.0)], 8),
+    (&[(7, 1.0)], 16),
+];
+
+#[test]
+fn every_sequence_number_dispatched_exactly_once() {
+    for &(targets, chunk) in CASES {
+        let n = 4096;
+        let assignment = dispatch(targets, chunk, n);
+        // Collect the per-target sequence sets; their disjoint union
+        // must be exactly 0..n.
+        let mut per_target: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (seq, &t) in assignment.iter().enumerate() {
+            per_target.entry(t).or_default().push(seq);
+        }
+        let mut all: Vec<usize> = per_target.values().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "{targets:?}/{chunk}");
+        for (t, seqs) in &per_target {
+            assert!(
+                targets.iter().any(|&(node, _)| node == *t),
+                "dispatched to non-target {t}"
+            );
+            // Within a target the stream is strictly increasing: splits
+            // never reorder what a single branch carries.
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{targets:?}/{chunk}");
+        }
+    }
+}
+
+#[test]
+fn runs_are_aligned_blocks_of_chunk_consecutive_numbers() {
+    for &(targets, chunk) in CASES {
+        let n = 4096;
+        let assignment = dispatch(targets, chunk, n);
+        // Every aligned block of `chunk` sequence numbers goes to one
+        // target (maximal runs are multiples of `chunk`: adjacent WRR
+        // picks of the same target merge their runs).
+        for (b, block) in assignment.chunks(chunk as usize).enumerate() {
+            assert!(
+                block.iter().all(|&t| t == block[0]),
+                "{targets:?}/{chunk}: block {b} split across targets: {block:?}"
+            );
+        }
+        if targets.len() > 1 {
+            let distinct = {
+                let mut v = assignment.clone();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            };
+            assert_eq!(distinct, targets.len(), "a target starved");
+        }
+    }
+}
+
+#[test]
+fn weight_shares_converge_within_one_chunk_round() {
+    for &(targets, chunk) in CASES {
+        let total: f64 = targets.iter().map(|&(_, w)| w).sum();
+        // One full round hands each target ~chunk × weight-share picks;
+        // smooth WRR keeps every target within one pick of its ideal
+        // share per round, so chunking bounds the deviation by `chunk`.
+        for rounds in [1usize, 3, 16] {
+            let n = rounds * chunk as usize * targets.len();
+            let assignment = dispatch(targets, chunk, n);
+            for &(node, w) in targets {
+                let got = assignment.iter().filter(|&&t| t == node).count() as f64;
+                let ideal = n as f64 * w / total;
+                assert!(
+                    (got - ideal).abs() <= chunk as f64 + 1e-9,
+                    "{targets:?}/{chunk}: target {node} got {got} of ideal {ideal} after {n}"
+                );
+            }
+        }
+    }
+}

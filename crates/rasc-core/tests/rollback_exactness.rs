@@ -1,0 +1,150 @@
+//! Rollback exactness under randomized admitted/rejected interleavings
+//! (the auditor's rollback invariant, exercised composer by composer):
+//!
+//! * locally, every rejected composition leaves the view **bit-equal**
+//!   to its pre-compose snapshot (`SystemView`'s exact `PartialEq`, not
+//!   an epsilon comparison), and
+//! * globally, after a whole interleaving of admissions and rejections,
+//!   replaying *only the admitted* execution graphs onto a pristine
+//!   clone reproduces the final view bit-for-bit — rejected attempts
+//!   left zero residue anywhere, including nodes they briefly reserved
+//!   on before failing a later stage.
+//!
+//! Cases reproduce from the case number in the assertion message.
+
+use desim::{SimDuration, SimRng};
+use rasc_core::compose::{ComposerKind, ProviderMap};
+use rasc_core::model::{ExecutionGraph, Service, ServiceCatalog, ServiceRequest};
+use rasc_core::view::SystemView;
+use simnet::{kbps, Topology};
+
+struct Instance {
+    nodes: usize,
+    catalog: ServiceCatalog,
+    providers: ProviderMap,
+    view: SystemView,
+}
+
+/// Random instance with non-unit rate ratios so the replay must get the
+/// gain arithmetic exactly right, not merely the placement bookkeeping.
+fn random_instance(rng: &mut SimRng) -> Instance {
+    let nodes = rng.range_usize(5, 10);
+    let services = rng.range_usize(1, 4);
+    let catalog = ServiceCatalog::new(
+        (0..services)
+            .map(|id| Service {
+                id,
+                name: format!("s{id}"),
+                exec_time: SimDuration::from_micros(rng.range_usize(200, 3000) as u64),
+                rate_ratio: *rng.choose(&[0.5, 1.0, 1.0, 2.0]),
+            })
+            .collect(),
+    );
+    let mut providers = ProviderMap::new();
+    for s in 0..services {
+        let mut hosts: Vec<usize> = (0..rng.range_usize(1, nodes - 1))
+            .map(|_| rng.range_usize(0, nodes - 2))
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        providers.insert(s, hosts);
+    }
+    let mut view = SystemView::fresh(&Topology::uniform(
+        nodes,
+        kbps(rng.range_f64(1_000.0, 4_000.0)),
+        SimDuration::from_millis(10),
+    ));
+    for v in 0..nodes {
+        view.set_drop_ratio(v, rng.range_f64(0.0, 0.4));
+    }
+    Instance {
+        nodes,
+        catalog,
+        providers,
+        view,
+    }
+}
+
+fn random_request(rng: &mut SimRng, inst: &Instance) -> ServiceRequest {
+    let services = inst.catalog.len();
+    let chain: Vec<usize> = (0..rng.range_usize(1, services.min(3) + 1))
+        .map(|_| rng.range_usize(0, services))
+        .collect();
+    ServiceRequest::chain(
+        &chain,
+        rng.range_f64(5.0, 120.0),
+        inst.nodes - 2,
+        inst.nodes - 1,
+    )
+}
+
+/// Re-applies an admitted graph's reservations in the composers' order
+/// (per substream: source, destination, then each placement) so float
+/// accumulation matches the original run operation for operation.
+fn replay(
+    catalog: &ServiceCatalog,
+    req: &ServiceRequest,
+    graph: &ExecutionGraph,
+    view: &mut SystemView,
+) {
+    for (l, stages) in graph.substreams.iter().enumerate() {
+        let mut gain = 1.0;
+        for &s in &req.graph.substreams[l].services {
+            gain *= catalog.get(s).rate_ratio;
+        }
+        view.reserve_source(req.source, req.unit_bits, req.rates[l] / gain);
+        view.reserve_destination(req.destination, req.unit_bits, req.rates[l]);
+        for stage in stages {
+            let svc = catalog.get(stage.service);
+            for p in &stage.placements {
+                view.reserve_component(p.node, req.unit_bits, svc.rate_ratio, p.rate);
+                view.reserve_cpu(p.node, svc.exec_time.as_secs_f64(), p.rate);
+            }
+        }
+    }
+}
+
+#[test]
+fn rejections_leave_no_residue_and_admissions_replay_bit_identically() {
+    let mut totals = (0u32, 0u32); // (admitted, rejected) across all cases
+    for kind in ComposerKind::ALL {
+        let mut meta = SimRng::new(0xb0_11ba);
+        for case in 0..60u32 {
+            let inst = random_instance(&mut meta);
+            let mut composer = kind.build();
+            let mut view = inst.view.clone();
+            let pristine = inst.view.clone();
+            let mut rng = SimRng::new(u64::from(case) + 13);
+            let mut admitted: Vec<(ServiceRequest, ExecutionGraph)> = Vec::new();
+            for _ in 0..12 {
+                let req = random_request(&mut meta, &inst);
+                let before = view.clone();
+                match composer.compose(&req, &inst.catalog, &inst.providers, &mut view, &mut rng) {
+                    Ok(graph) => {
+                        totals.0 += 1;
+                        admitted.push((req, graph));
+                    }
+                    Err(_) => {
+                        totals.1 += 1;
+                        assert_eq!(
+                            view, before,
+                            "case {case}: {kind:?}: rejected compose left the view not bit-equal"
+                        );
+                    }
+                }
+            }
+            let mut replayed = pristine;
+            for (req, graph) in &admitted {
+                replay(&inst.catalog, req, graph, &mut replayed);
+            }
+            assert_eq!(
+                view, replayed,
+                "case {case}: {kind:?}: final view differs from pristine replay of admissions"
+            );
+        }
+    }
+    // The interleavings must actually exercise both outcomes, or the
+    // invariants above were vacuous.
+    assert!(totals.0 > 50, "too few admissions: {totals:?}");
+    assert!(totals.1 > 50, "too few rejections: {totals:?}");
+}

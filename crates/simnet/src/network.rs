@@ -66,6 +66,9 @@ pub struct Network {
     jitter_sigma: f64,
     congestion_jitter: f64,
     max_backlog: SimDuration,
+    /// Per-node multiplicative latency scaling (fault injection: a spiked
+    /// node stretches every link it touches). 1.0 = nominal.
+    latency_factor: Vec<f64>,
 }
 
 impl Network {
@@ -87,6 +90,7 @@ impl Network {
             jitter_sigma: config.latency_jitter_sigma,
             congestion_jitter: config.congestion_jitter,
             max_backlog: config.max_nic_backlog,
+            latency_factor: vec![1.0; n],
         }
     }
 
@@ -118,6 +122,30 @@ impl Network {
     /// Current input-NIC backlog of `v`.
     pub fn in_backlog(&self, v: NodeId, now: SimTime) -> SimDuration {
         self.nic_in[v].backlog(now)
+    }
+
+    /// Re-rates node `v`'s NICs at runtime (bandwidth degradation or
+    /// restoration of a shared host). Both the NIC service rates and the
+    /// topology spec are updated so capacity-derived admission views see
+    /// the change; traffic already serialized keeps its departure times.
+    pub fn set_node_bandwidth(&mut self, v: NodeId, bw_in: f64, bw_out: f64) {
+        self.topology
+            .set_spec(v, crate::topology::NodeSpec { bw_in, bw_out });
+        self.nic_in[v].set_rate(bw_in);
+        self.nic_out[v].set_rate(bw_out);
+    }
+
+    /// Sets node `v`'s latency scaling: every link touching `v` stretches
+    /// by `factor` (a congested access link or re-routed path affects all
+    /// of the node's traffic). `1.0` restores nominal propagation.
+    pub fn set_latency_factor(&mut self, v: NodeId, factor: f64) {
+        assert!(factor > 0.0, "latency factor must be positive");
+        self.latency_factor[v] = factor;
+    }
+
+    /// Current latency scaling of node `v`.
+    pub fn latency_factor(&self, v: NodeId) -> f64 {
+        self.latency_factor[v]
     }
 
     /// Occupies a node's NICs with cross traffic for the given durations
@@ -152,6 +180,11 @@ impl Network {
             }
         };
         let mut latency = self.topology.latency(src, dst);
+        // A latency spike on either endpoint stretches the whole path.
+        let spike = self.latency_factor[src].max(self.latency_factor[dst]);
+        if spike != 1.0 {
+            latency = latency.mul_f64(spike);
+        }
         if self.jitter_sigma > 0.0 && src != dst {
             let sigma = self.jitter_sigma * (1.0 + self.congestion_jitter * backlog_frac);
             let factor = self.rng.log_normal(0.0, sigma);
@@ -300,6 +333,82 @@ mod tests {
         let tc = c.send(SimTime::ZERO, 0, 1, 1000);
         assert_eq!(ta, tb, "same seed, same jitter");
         assert_ne!(ta, tc, "different seed perturbs");
+    }
+
+    #[test]
+    fn runtime_degradation_slows_and_restores() {
+        let mut net = two_nodes(mbps(1.0));
+        // Nominal: 100_000 bits = 100 ms tx + 10 ms + 100 ms rx.
+        let t0 = match net.send(SimTime::ZERO, 0, 1, 100_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t0, SimTime::from_millis(210));
+        // Degrade the receiver to 10%: its rx stage takes 10× longer, and
+        // the topology spec (what admission reads) shrinks with it.
+        net.set_node_bandwidth(1, mbps(0.1), mbps(0.1));
+        assert_eq!(net.topology().spec(1).bw_in, mbps(0.1));
+        let far = SimTime::from_secs(100); // both NICs long idle again
+        let t1 = match net.send(far, 0, 1, 100_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t1.saturating_since(far), SimDuration::from_millis(1110));
+        // Restore: behaviour returns to nominal.
+        net.set_node_bandwidth(1, mbps(1.0), mbps(1.0));
+        let far2 = SimTime::from_secs(200);
+        let t2 = match net.send(far2, 0, 1, 100_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t2.saturating_since(far2), SimDuration::from_millis(210));
+    }
+
+    #[test]
+    fn latency_spike_stretches_links_of_the_node() {
+        let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(10));
+        b.node(mbps(10.0), mbps(10.0));
+        b.node(mbps(10.0), mbps(10.0));
+        b.node(mbps(10.0), mbps(10.0));
+        let mut net = Network::new(b.build(), quiet_config());
+        let base = match net.send(SimTime::ZERO, 0, 1, 10_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        net.set_latency_factor(1, 5.0);
+        assert_eq!(net.latency_factor(1), 5.0);
+        let far = SimTime::from_secs(10);
+        let spiked = match net.send(far, 0, 1, 10_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        // 10 ms propagation grew to 50 ms; tx/rx stages unchanged.
+        assert_eq!(
+            spiked.saturating_since(far),
+            base.saturating_since(SimTime::ZERO) + SimDuration::from_millis(40)
+        );
+        // Links not touching node 1 are unaffected (sent at a separate
+        // instant so the sender NIC is idle again).
+        let far_o = SimTime::from_secs(15);
+        let other = match net.send(far_o, 0, 2, 10_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            other.saturating_since(far_o),
+            base.saturating_since(SimTime::ZERO)
+        );
+        // Calm restores nominal latency.
+        net.set_latency_factor(1, 1.0);
+        let far2 = SimTime::from_secs(20);
+        let calm = match net.send(far2, 0, 1, 10_000) {
+            SendOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            calm.saturating_since(far2),
+            base.saturating_since(SimTime::ZERO)
+        );
     }
 
     #[test]

@@ -43,6 +43,15 @@ impl Nic {
         self.rate
     }
 
+    /// Re-rates the interface (runtime capacity degradation/restoration).
+    /// The busy-until horizon is preserved: traffic already accepted keeps
+    /// its departure times; only subsequent messages serialize at the new
+    /// rate.
+    pub fn set_rate(&mut self, rate: Bandwidth) {
+        assert!(rate > 0.0, "NIC rate must be positive");
+        self.rate = rate;
+    }
+
     /// Current backlog: how long a message arriving `now` would wait
     /// before starting transmission.
     pub fn backlog(&self, now: SimTime) -> SimDuration {

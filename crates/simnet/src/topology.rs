@@ -40,6 +40,20 @@ impl Topology {
         self.specs[v]
     }
 
+    /// Overwrites node `v`'s capacities. Runtime bandwidth degradation
+    /// (a shared host losing usable bandwidth to other tenants) mutates
+    /// the spec so capacity-derived views — admission control reads
+    /// `spec(v)` through `SystemView` — see the shrunken node. Callers go
+    /// through [`crate::Network::set_node_bandwidth`], which keeps the
+    /// NIC service rates in sync.
+    pub fn set_spec(&mut self, v: NodeId, spec: NodeSpec) {
+        assert!(
+            spec.bw_in > 0.0 && spec.bw_out > 0.0,
+            "bandwidth must be positive"
+        );
+        self.specs[v] = spec;
+    }
+
     /// One-way propagation latency `u → v`.
     pub fn latency(&self, u: NodeId, v: NodeId) -> SimDuration {
         self.latency[u * self.len() + v]

@@ -13,9 +13,20 @@ cargo test -q
 cargo fmt --all -- --check
 cargo clippy --all-targets -- -D warnings
 
+# Audit-enabled pass: every engine in the runtime test surface runs
+# with the invariant auditor checkpointing (conservation, ledger,
+# rollback, delivery, liveness) — the suites must stay green with the
+# checks on.
+RASC_AUDIT=1 cargo test -q -p rasc-core -p workload
+
 # Microbenchmark smoke run: small fixed-seed iterations; exercises the
 # compose/solver hot paths (including the steady-state zero-allocation
 # assert) without touching the committed BENCH_compose.json.
 cargo run --release -q --bin repro -- bench --quick
+
+# Audited fault-injection soak: 60 seeded runs across fault profiles
+# and composers; exits non-zero on any invariant violation or a
+# serial-vs-parallel digest mismatch. Takes well under 30 s.
+cargo run --release -q --bin repro -- chaos --quick
 
 echo "verify: all checks passed"
