@@ -29,7 +29,12 @@ struct CountingAlloc;
 // safety obligations.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Read-only check on the fast path: a shared read keeps the
+        // cache line in every core; the write-side `fetch_add` only runs
+        // inside `count_allocations` sections.
+        if rasc_bench::microbench::ALLOC_COUNT_ENABLED.load(std::sync::atomic::Ordering::Relaxed) {
+            rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -38,7 +43,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if rasc_bench::microbench::ALLOC_COUNT_ENABLED.load(std::sync::atomic::Ordering::Relaxed) {
+            rasc_bench::microbench::ALLOC_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -223,6 +230,111 @@ fn bench_suite(quick: bool) {
         }
     }
 
+    // --- Adaptation hot path: incremental repair vs cold re-solve -----
+    // The engine's adaptation triggers (host crash, rate change) repair
+    // the retained solved instance instead of re-solving from scratch.
+    // Both sides pay one clone of the solved arena per op (the repair
+    // side also clones the retained solver), so the ratio isolates
+    // warm repair against the cold solve the old adaptation path ran.
+    // Two crash victims bracket the distribution over which host fails:
+    // `crash_repair` kills the MEDIAN-loaded host column — the
+    // representative cost of a uniformly random crash — and
+    // `crash_worst` kills the most-loaded column, which on these
+    // cost-concentrated instances carries an outsized share of the flow
+    // (57% at 6x24) and is repair's worst case.
+    for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
+        use rasc_bench::instances::layered_host_columns;
+        let (mut net0, src, dst, target) = layered(layers, width, 42);
+        let mut solver0 = FlowSolver::new(mincostflow::Algorithm::DijkstraSsp);
+        solver0
+            .solve(&mut net0, src, dst, target)
+            .expect("feasible instance");
+        let columns = layered_host_columns(&net0, width);
+        let mut order: Vec<usize> = (0..width).collect();
+        order.sort_by_key(|&k| columns[k].iter().map(|&e| net0.flow_on(e)).sum::<i64>());
+        for (tag, k) in [
+            ("crash", order[width / 2]),
+            ("crash_worst", order[width - 1]),
+        ] {
+            let victim = &columns[k];
+            {
+                // The damaged instance must stay feasible at the old
+                // value, or both paths degenerate to their fallbacks.
+                let mut probe = net0.clone();
+                for &e in victim {
+                    probe.disable_edge(e);
+                }
+                probe.reset_flow();
+                mincostflow::min_cost_flow(&mut probe, src, dst, target, Default::default())
+                    .expect("crash victim leaves the instance feasible");
+            }
+            results.push(time(
+                quick,
+                &format!("adapt/{tag}_repair/{layers}x{width}"),
+                || {
+                    let mut net = net0.clone();
+                    let mut solver = solver0.clone();
+                    let out = solver.repair_deletions(&mut net, victim);
+                    debug_assert!(out.complete());
+                    black_box(out.routed);
+                },
+            ));
+            results.push(time(
+                quick,
+                &format!("adapt/{tag}_cold/{layers}x{width}"),
+                || {
+                    let mut net = net0.clone();
+                    for &e in victim {
+                        net.disable_edge(e);
+                    }
+                    net.reset_flow();
+                    let sol =
+                        mincostflow::min_cost_flow(&mut net, src, dst, target, Default::default())
+                            .expect("feasible after crash");
+                    black_box(sol.cost);
+                },
+            ));
+        }
+
+        // Rate bump: the request's rate grows 5%; repair augments only
+        // the delta, cold re-solves the whole instance at the new value.
+        let delta = (target / 20).max(1);
+        {
+            let mut probe = net0.clone();
+            probe.reset_flow();
+            mincostflow::min_cost_flow(&mut probe, src, dst, target + delta, Default::default())
+                .expect("bumped rate stays feasible");
+        }
+        results.push(time(
+            quick,
+            &format!("adapt/rate_bump_repair/{layers}x{width}"),
+            || {
+                let mut net = net0.clone();
+                let mut solver = solver0.clone();
+                let out = solver.increase_flow(&mut net, src, dst, delta);
+                debug_assert!(out.complete());
+                black_box(out.routed);
+            },
+        ));
+        results.push(time(
+            quick,
+            &format!("adapt/rate_bump_cold/{layers}x{width}"),
+            || {
+                let mut net = net0.clone();
+                net.reset_flow();
+                let sol = mincostflow::min_cost_flow(
+                    &mut net,
+                    src,
+                    dst,
+                    target + delta,
+                    Default::default(),
+                )
+                .expect("feasible at the bumped rate");
+                black_box(sol.cost);
+            },
+        ));
+    }
+
     // --- Steady-state allocation check --------------------------------
     // After the first solve, the arena rebuild + warm solve must reuse
     // every buffer: zero heap allocations across further iterations.
@@ -298,6 +410,25 @@ fn bench_suite(quick: bool) {
         threads,
         serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9)
     );
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_op)
+            .unwrap_or(f64::NAN)
+    };
+    for size in ["3x8", "5x16", "6x24"] {
+        println!(
+            "adaptation speedup at {size}: crash repair {:.1}x (worst-case host {:.1}x), \
+             rate bump {:.1}x vs cold re-solve",
+            ns_of(&format!("adapt/crash_cold/{size}"))
+                / ns_of(&format!("adapt/crash_repair/{size}")),
+            ns_of(&format!("adapt/crash_worst_cold/{size}"))
+                / ns_of(&format!("adapt/crash_worst_repair/{size}")),
+            ns_of(&format!("adapt/rate_bump_cold/{size}"))
+                / ns_of(&format!("adapt/rate_bump_repair/{size}")),
+        );
+    }
 
     if quick {
         println!("quick mode: skipping BENCH_compose.json (full runs only)");

@@ -3,7 +3,7 @@
 //! the PlanetLab-like composition scenario.
 
 use desim::SimRng;
-use mincostflow::FlowNetwork;
+use mincostflow::{EdgeId, FlowNetwork};
 use rasc_core::compose::ProviderMap;
 use rasc_core::model::{ServiceCatalog, ServiceRequest};
 use rasc_core::view::SystemView;
@@ -69,6 +69,24 @@ pub fn layered_into(
     (src, dst, min_layer_cap * 6 / 10)
 }
 
+/// The internal (host-capacity) edges of a [`layered`] instance, grouped
+/// by host column: entry `k` holds one edge per layer — the arcs a crash
+/// of "host k" removes from every stage at once. Internal edges are
+/// identified structurally: they are the only arcs with capacity below
+/// the 1 000 000 that gate/transfer edges use, and [`layered_into`]
+/// inserts them layer-major, host-minor.
+pub fn layered_host_columns(net: &FlowNetwork, width: usize) -> Vec<Vec<EdgeId>> {
+    let mut columns = vec![Vec::new(); width];
+    let mut seen = 0usize;
+    for e in net.edges() {
+        if net.capacity(e) < 1_000_000 {
+            columns[seen % width].push(e);
+            seen += 1;
+        }
+    }
+    columns
+}
+
 /// The composition microbench scenario: a PlanetLab-like `n`-node view,
 /// a 10-service catalog with 16 candidate hosts per service, and a
 /// 3-stage chain request from node `n-2` to node `n-1`.
@@ -132,6 +150,24 @@ mod tests {
         let a = mincostflow::min_cost_flow(&mut fresh, src, dst, target, Default::default());
         let b = mincostflow::min_cost_flow(&mut arena, src, dst, target, Default::default());
         assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    #[test]
+    fn host_columns_partition_the_internal_edges() {
+        let (layers, width) = (4, 6);
+        let (net, src, dst, _) = layered(layers, width, 13);
+        let columns = layered_host_columns(&net, width);
+        assert_eq!(columns.len(), width);
+        for col in &columns {
+            assert_eq!(col.len(), layers, "one internal edge per layer");
+            for &e in col {
+                let (u, v) = net.endpoints(e);
+                assert!(net.capacity(e) < 1_000_000);
+                assert!(u != src && v != dst, "internal edges never touch endpoints");
+            }
+        }
+        let all: std::collections::HashSet<_> = columns.iter().flatten().copied().collect();
+        assert_eq!(all.len(), layers * width, "columns overlap");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! JSON document (`BENCH_compose.json`) so successive runs can be
 //! diffed mechanically.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -19,12 +19,23 @@ pub use std::hint::black_box;
 /// Library code only reads it.
 pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 
+/// Whether the counting allocator should count at all. Off by default:
+/// an unconditional `fetch_add` on one shared cache line turns every
+/// allocation in the process into cross-core traffic, which measurably
+/// drags the parallel sweep benches. [`count_allocations`] flips it on
+/// only around the section being audited.
+pub static ALLOC_COUNT_ENABLED: AtomicBool = AtomicBool::new(false);
+
 /// Runs `op` and returns how many heap allocations it performed.
 /// Meaningful only under a counting global allocator that bumps
-/// [`ALLOC_COUNT`]; without one it returns 0.
+/// [`ALLOC_COUNT`] while [`ALLOC_COUNT_ENABLED`] is set; without one it
+/// returns 0. Not reentrant and not thread-aware: counts every
+/// allocation process-wide while `op` runs.
 pub fn count_allocations<F: FnOnce()>(op: F) -> u64 {
     let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    ALLOC_COUNT_ENABLED.store(true, Ordering::Relaxed);
     op();
+    ALLOC_COUNT_ENABLED.store(false, Ordering::Relaxed);
     ALLOC_COUNT.load(Ordering::Relaxed) - before
 }
 

@@ -1,0 +1,101 @@
+//! Manual profiling probe for the adaptation hot path. Ignored by
+//! default; run with
+//! `cargo test -p rasc-bench --release --test profile_repair -- --ignored --nocapture`.
+
+use mincostflow::{Algorithm, FlowSolver};
+use rasc_bench::instances::{layered, layered_host_columns};
+use std::time::Instant;
+
+fn min_us<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+#[test]
+#[ignore]
+fn profile_crash_repair() {
+    for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
+        let (mut net0, src, dst, target) = layered(layers, width, 42);
+        let mut solver0 = FlowSolver::new(Algorithm::DijkstraSsp);
+        solver0.solve(&mut net0, src, dst, target).unwrap();
+        let columns = layered_host_columns(&net0, width);
+        let mut order: Vec<usize> = (0..width).collect();
+        let load = |k: usize| -> i64 { columns[k].iter().map(|&e| net0.flow_on(e)).sum::<i64>() };
+        order.sort_by_key(|&k| load(k));
+
+        // Distribution over all possible single-host crashes.
+        let mut repair_sum = 0f64;
+        let mut cold_sum = 0f64;
+        let mut per_host = Vec::new();
+        for (k, col) in columns.iter().enumerate() {
+            let victim = col.clone();
+            let repair_us = min_us(10, || {
+                let mut net = net0.clone();
+                let mut solver = solver0.clone();
+                let out = solver.repair_deletions(&mut net, &victim);
+                assert!(out.complete());
+            });
+            let cold_us = min_us(10, || {
+                let mut cold = net0.clone();
+                for &e in &victim {
+                    cold.disable_edge(e);
+                }
+                cold.reset_flow();
+                mincostflow::min_cost_flow(&mut cold, src, dst, target, Default::default())
+                    .unwrap();
+            });
+            repair_sum += repair_us;
+            cold_sum += cold_us;
+            per_host.push((load(k), repair_us, cold_us));
+        }
+        per_host.sort_by_key(|&(l, _, _)| l);
+        for &(l, r, c) in &per_host {
+            println!(
+                "  load={l:>7} repair={r:>7.1}us cold={c:>7.1}us speedup={:.1}x",
+                c / r
+            );
+        }
+        println!(
+            "{layers}x{width} EXPECTED (uniform crash): repair={:.1}us cold={:.1}us speedup={:.1}x",
+            repair_sum / width as f64,
+            cold_sum / width as f64,
+            cold_sum / repair_sum,
+        );
+
+        for (tag, k) in [("max", order[width - 1]), ("med", order[width / 2])] {
+            let victim = columns[k].clone();
+            let drained: i64 = victim.iter().map(|&e| net0.flow_on(e)).sum();
+
+            let clone_us = min_us(30, || (net0.clone(), solver0.clone()));
+            let mut phases = 0;
+            let repair_us = min_us(30, || {
+                let mut net = net0.clone();
+                let mut solver = solver0.clone();
+                let out = solver.repair_deletions(&mut net, &victim);
+                assert!(out.complete());
+                phases = out.phases;
+            });
+            let cold_us = min_us(30, || {
+                let mut cold = net0.clone();
+                for &e in &victim {
+                    cold.disable_edge(e);
+                }
+                cold.reset_flow();
+                mincostflow::min_cost_flow(&mut cold, src, dst, target, Default::default())
+                    .unwrap();
+            });
+
+            println!(
+                "{layers}x{width} {tag}: target={target} drained={drained} phases={phases} \
+                 clone={clone_us:.1}us repair+clone={repair_us:.1}us cold+clone={cold_us:.1}us \
+                 speedup={:.1}x",
+                cold_us / repair_us,
+            );
+        }
+    }
+}

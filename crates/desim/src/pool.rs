@@ -8,11 +8,14 @@
 //! job being internally deterministic in its seed, a parallel sweep is
 //! bit-for-bit identical to a serial one.
 //!
-//! Implementation: `std::thread::scope` workers pull job indices from a
-//! shared atomic counter (work stealing without queues), collect
-//! `(index, result)` pairs locally, and the caller scatters them back
-//! into a dense `Vec` — no locks on the result path, no external
-//! dependencies, no unsafe code.
+//! Implementation: `std::thread::scope` workers claim contiguous chunks
+//! of job indices from a shared atomic counter (guided self-scheduling:
+//! each claim takes a fraction of the *remaining* jobs, so chunks start
+//! large and shrink toward single jobs at the tail — coarse enough that
+//! the counter stays off the hot path, fine enough that a straggler job
+//! cannot strand work behind it), collect `(index, result)` pairs
+//! locally, and the caller scatters them back into a dense `Vec` — no
+//! locks on the result path, no external dependencies, no unsafe code.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -69,11 +72,29 @@ where
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        // Guided chunk claim: a quarter of the remaining
+                        // work per worker, never less than one job.
+                        let start = next.load(Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        let chunk = ((n - start) / (workers * 4)).max(1);
+                        if next
+                            .compare_exchange_weak(
+                                start,
+                                start + chunk,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let i = start + i;
+                            local.push((i, f(i, item)));
+                        }
                     }
                     local
                 })

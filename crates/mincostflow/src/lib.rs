@@ -59,6 +59,7 @@ mod capacity_scaling;
 mod cost_scaling;
 mod dinic;
 mod network;
+mod repair;
 mod simplex;
 mod ssp;
 pub mod validate;
@@ -67,6 +68,7 @@ pub use capacity_scaling::CapacityScaling;
 pub use cost_scaling::CostScaling;
 pub use dinic::dinic_max_flow;
 pub use network::{EdgeId, FlowNetwork, NodeId};
+pub use repair::RepairOutcome;
 pub use simplex::NetworkSimplex;
 pub use ssp::{SspSolver, SspVariant};
 
@@ -178,6 +180,58 @@ impl FlowSolver {
             Algorithm::NetworkSimplex => return NetworkSimplex.solve(net, source, sink, target),
         };
         SspSolver::new(variant).solve_with(&mut self.ssp, net, source, sink, target)
+    }
+
+    /// Disables every edge in `dead` and re-routes the flow they carried
+    /// over the residual network, warm-started from the potentials the
+    /// preceding [`solve`](Self::solve) left behind. The repaired flow is
+    /// exactly min-cost for its value (see the `repair` module docs); a
+    /// non-zero [`RepairOutcome::shortfall`] means the damaged network
+    /// cannot carry the previous value and the caller should re-solve.
+    pub fn repair_deletions(&mut self, net: &mut FlowNetwork, dead: &[EdgeId]) -> RepairOutcome {
+        repair::repair_deletions(&mut self.ssp, net, dead)
+    }
+
+    /// Restores balance to a pseudo-flow: routes `min(Σ excess, Σ deficit)`
+    /// units from `excess` nodes to `deficit` nodes along successive
+    /// shortest residual paths. The general primitive behind
+    /// [`repair_deletions`](Self::repair_deletions),
+    /// [`increase_flow`](Self::increase_flow), and
+    /// [`decrease_flow`](Self::decrease_flow).
+    pub fn repair_imbalance(
+        &mut self,
+        net: &mut FlowNetwork,
+        excess: &[(NodeId, i64)],
+        deficit: &[(NodeId, i64)],
+    ) -> RepairOutcome {
+        repair::repair(&mut self.ssp, net, excess, deficit)
+    }
+
+    /// Raises the installed `source → sink` flow by `delta` at minimum
+    /// added cost, without re-solving. Equivalent in cost to a cold solve
+    /// at the higher target when it completes.
+    pub fn increase_flow(
+        &mut self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        delta: i64,
+    ) -> RepairOutcome {
+        repair::repair(&mut self.ssp, net, &[(source, delta)], &[(sink, delta)])
+    }
+
+    /// Lowers the installed `source → sink` flow by `delta`, cancelling
+    /// the most expensive routed paths first (augmentation runs backwards
+    /// through residual arcs). Equivalent in cost to a cold solve at the
+    /// lower target when it completes.
+    pub fn decrease_flow(
+        &mut self,
+        net: &mut FlowNetwork,
+        source: NodeId,
+        sink: NodeId,
+        delta: i64,
+    ) -> RepairOutcome {
+        repair::repair(&mut self.ssp, net, &[(sink, delta)], &[(source, delta)])
     }
 }
 

@@ -296,6 +296,27 @@ impl FlowNetwork {
         self.flow_dirty = false;
     }
 
+    /// Disables a user edge in place: zeroes its remaining capacity, its
+    /// routed flow (the reverse arc's residual), and its recorded original
+    /// capacity — so [`reset_flow`](Self::reset_flow) keeps it disabled —
+    /// and returns the flow that was routed over it. The caller owes the
+    /// network that much imbalance: the tail is left with excess and the
+    /// head with deficit until the flow is re-routed (see the `repair`
+    /// module). The CSR index stays valid: disabling changes capacities,
+    /// not topology, and the capacity mirror is re-synced here.
+    pub fn disable_edge(&mut self, e: EdgeId) -> i64 {
+        let fwd = e.0 * 2;
+        let drained = self.arcs[fwd + 1].cap;
+        self.arcs[fwd].cap = 0;
+        self.arcs[fwd + 1].cap = 0;
+        self.original_cap[e.0] = 0;
+        if !self.csr_dirty {
+            self.csr_arcs[self.pos[fwd] as usize].cap = 0;
+            self.csr_arcs[self.pos[fwd + 1] as usize].cap = 0;
+        }
+        drained
+    }
+
     /// Pushes `amount` of flow along arc `a` (internal; updates residuals).
     #[inline]
     pub(crate) fn push(&mut self, a: usize, amount: i64) {
@@ -443,6 +464,32 @@ mod tests {
         assert_eq!(net.out_arcs(2), &[0]);
         assert_eq!(net.out_arcs(0), &[1]);
         assert!(net.out_arcs(1).is_empty());
+    }
+
+    #[test]
+    fn disable_edge_drains_flow_and_survives_reset() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 10, 1);
+        let b = net.add_edge(1, 2, 10, 1);
+        net.ensure_csr();
+        net.push(0, 4);
+        net.push(2, 4);
+        assert_eq!(net.disable_edge(a), 4);
+        assert_eq!(net.flow_on(a), 0);
+        assert_eq!(net.residual(a), 0);
+        assert_eq!(net.capacity(a), 0);
+        // The CSR mirror saw the zeroing without a rebuild.
+        net.ensure_csr();
+        for &arc in net.out_arcs(0) {
+            assert_eq!(net.arcs[arc as usize].cap, 0);
+        }
+        // Untouched edges keep their flow; reset keeps the edge disabled.
+        assert_eq!(net.flow_on(b), 4);
+        net.reset_flow();
+        assert_eq!(net.residual(a), 0);
+        assert_eq!(net.residual(b), 10);
+        // Disabling a zero-flow edge drains nothing.
+        assert_eq!(net.disable_edge(b), 0);
     }
 
     #[test]

@@ -1,0 +1,716 @@
+//! Incremental repair of an installed min-cost flow.
+//!
+//! The composer re-solves a layered graph every time an adaptation event
+//! fires, but most events perturb a *solved* network only locally: a host
+//! crash deletes a handful of arcs; a rate change shifts the demand by a
+//! small delta. Re-running the full solver discards everything the last
+//! solve learned. This module repairs the installed solution instead:
+//!
+//! 1. **Drain** — deleting an edge that carries `f` units of flow
+//!    ([`FlowNetwork::disable_edge`]) leaves a *pseudo-flow*: the edge's
+//!    tail now has `f` units of excess (inflow it can no longer forward)
+//!    and its head `f` units of deficit. Rate changes are expressed the
+//!    same way without touching any edge — a rate increase of `Δ` is an
+//!    excess of `Δ` at the source and a deficit of `Δ` at the sink; a
+//!    decrease swaps the two, which routes *backwards* through residual
+//!    arcs and cancels the most expensive routed paths first.
+//! 2. **Re-augment** — successive shortest paths from excess nodes to
+//!    deficit nodes over the residual network (Ahuja–Magnanti–Orlin
+//!    §9.7), warm-started from the potentials the *previous solve* left
+//!    behind: a solve's final potentials certify non-negative reduced
+//!    costs on its residual network, and deleting arcs only removes
+//!    constraints, so they stay valid after any pure deletion. One
+//!    `O(m)` scan confirms this; when it fails (caller rebuilt or
+//!    re-costed the graph) each augmentation falls back to SPFA, which
+//!    needs no potentials.
+//!
+//! The warm path is phased to keep shortest-path searches off the
+//! per-augmentation cost: each phase runs **one** Dijkstra seeded from
+//! *every* remaining excess node at once (distance 0 each — exactly the
+//! super-source construction of multi-supply SSP), folds the distances
+//! into the potentials, augments the recorded path, then drains as many
+//! further augmenting paths as a Dinic-style DFS can find among the
+//! zero-reduced-cost residual arcs — after the fold every shortest
+//! excess→deficit path lies in that subgraph, and any path the DFS's
+//! pruning misses is recovered by the next phase's Dijkstra. This is the
+//! classic primal–dual batching: the number of searches drops from one
+//! per augmenting path (what a cold solve pays) to one per *distinct
+//! shortest-path cost level* the re-routed flow crosses — measured on
+//! the layered benches, a median-host crash at 6×24 repairs in ~13
+//! phases where the cold solve runs ~100 searches. The phase count, not
+//! constant factors, is what bounds the repair speedup; see
+//! EXPERIMENTS.md for the measured distribution.
+//!
+//! Because the starting point is a min-cost pseudo-flow and every
+//! augmentation follows a true shortest path, the repaired flow is
+//! **exactly** min-cost for its value — bit-identical in cost to a cold
+//! re-solve of the damaged network (the flow itself may differ among
+//! cost ties). Callers that need a guarantee can therefore compare
+//! against a cold solve in tests, and fall back to one only when repair
+//! reports a [`shortfall`](RepairOutcome::shortfall).
+
+use crate::network::{EdgeId, FlowNetwork, NodeId};
+use crate::ssp::{max_reduced_cost, potentials_valid, spfa, SspScratch, DIAL_SPAN_LIMIT, INF};
+use std::cmp::Reverse;
+
+/// Outcome of an incremental repair pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RepairOutcome {
+    /// Imbalance units successfully re-routed.
+    pub routed: i64,
+    /// Units of imbalance that could not be re-routed (0 on full repair).
+    /// A non-zero shortfall means the damaged network cannot carry the
+    /// previous flow value; callers typically fall back to a cold solve
+    /// or renegotiate the rate.
+    pub shortfall: i64,
+    /// Net change in the installed flow's total cost, including both the
+    /// cost freed by drained edges and the cost of the augmenting paths.
+    /// Negative for rate decreases (expensive paths cancelled).
+    pub cost_delta: i64,
+    /// Whether the carried potentials validated, enabling warm Dijkstra
+    /// augmentations (`false` means the SPFA fallback ran).
+    pub warm: bool,
+    /// Shortest-path searches the repair ran (Dijkstra phases on the warm
+    /// path, SPFA calls on the fallback). Diagnostic: a repair that needs
+    /// as many phases as a cold solve needs augmentations has lost the
+    /// batching the warm path exists for.
+    pub phases: u32,
+}
+
+impl RepairOutcome {
+    /// Whether the repair restored full balance.
+    pub fn complete(&self) -> bool {
+        self.shortfall == 0
+    }
+}
+
+/// Disables every edge in `dead` and re-routes the drained flow.
+/// See [`repair`] for the balance/cost contract.
+pub(crate) fn repair_deletions(
+    s: &mut SspScratch,
+    net: &mut FlowNetwork,
+    dead: &[EdgeId],
+) -> RepairOutcome {
+    let mut excess: Vec<(NodeId, i64)> = Vec::with_capacity(dead.len());
+    let mut deficit: Vec<(NodeId, i64)> = Vec::with_capacity(dead.len());
+    let mut freed_cost = 0i64;
+    for &e in dead {
+        let (u, v) = net.endpoints(e);
+        let f = net.disable_edge(e);
+        if f > 0 {
+            excess.push((u, f));
+            deficit.push((v, f));
+            freed_cost += f * net.cost(e);
+        }
+    }
+    let mut out = repair(s, net, &excess, &deficit);
+    out.cost_delta -= freed_cost;
+    out
+}
+
+/// Restores balance to a pseudo-flow: routes `min(Σ excess, Σ deficit)`
+/// units from the excess nodes to the deficit nodes along successive
+/// shortest residual paths. `cost_delta` reports the summed true cost of
+/// the augmenting paths. Requires the installed flow to be min-cost for
+/// its imbalance (true for any flow a solver in this crate installed,
+/// including infeasible partials, after arbitrary edge deletions); under
+/// that precondition the result is again min-cost.
+pub(crate) fn repair(
+    s: &mut SspScratch,
+    net: &mut FlowNetwork,
+    excess: &[(NodeId, i64)],
+    deficit: &[(NodeId, i64)],
+) -> RepairOutcome {
+    net.ensure_csr();
+    let n = net.num_nodes();
+    s.bal.clear();
+    s.bal.resize(n, 0);
+    for &(v, amt) in excess {
+        debug_assert!(amt >= 0, "negative excess");
+        s.bal[v] += amt;
+    }
+    for &(v, amt) in deficit {
+        debug_assert!(amt >= 0, "negative deficit");
+        s.bal[v] -= amt;
+    }
+    let plus: i64 = s.bal.iter().filter(|&&b| b > 0).sum();
+    let minus: i64 = -s.bal.iter().filter(|&&b| b < 0).sum::<i64>();
+    let mut to_route = plus.min(minus);
+    let mut out = RepairOutcome {
+        routed: 0,
+        shortfall: 0,
+        cost_delta: 0,
+        warm: false,
+        phases: 0,
+    };
+    if to_route == 0 {
+        return out;
+    }
+    // Warm path: the previous solve's final potentials, revalidated in
+    // one O(m) scan against the current (possibly damaged) network.
+    out.warm = s.pot.len() == n && potentials_valid(net, &s.pot);
+    s.dist.clear();
+    s.dist.resize(n, INF);
+    s.prev_arc.clear();
+    s.prev_arc.resize(n, usize::MAX);
+    if out.warm {
+        // Phased multi-source SSP: one *complete* Dijkstra from all
+        // remaining excess nodes, a full Johnson fold, then a batch
+        // augmentation over the zero-reduced-cost subgraph. Running the
+        // search to completion (instead of stopping at the nearest
+        // deficit) puts the whole shortest-path DAG — the shortest paths
+        // to *every* deficit, each at its own distance — at reduced cost
+        // zero, so one drain covers every cost level at once. Ordering
+        // among deficits is irrelevant: any augmentation along
+        // zero-reduced arcs preserves complementary slackness, which is
+        // the invariant that makes the final flow min-cost. The
+        // recorded-path augmentation guarantees progress every phase, so
+        // termination never depends on the DFS.
+        // Phase-search engine: Dial's bucket ring when the reduced-cost
+        // span allows (the solver's own trick — every queue operation
+        // becomes O(1)), binary heap otherwise. Each fold grows any
+        // reduced cost by at most the fold cap, so the bound is tracked
+        // in O(1) per phase and only re-measured when it drifts past the
+        // limit, exactly as `solve_with` does.
+        let mut drains = 0u32;
+        let mut dial_span: Option<i64> = None;
+        while to_route > 0 {
+            out.phases += 1;
+            let span = match dial_span {
+                Some(bound) if bound < DIAL_SPAN_LIMIT => bound,
+                _ => max_reduced_cost(net, &s.pot),
+            };
+            dial_span = Some(span);
+            let found = if span < DIAL_SPAN_LIMIT {
+                dial_from_excess(net, s, span)
+            } else {
+                dijkstra_from_excess(net, s)
+            };
+            let Some(t) = found else {
+                break;
+            };
+            dial_span = dial_span.map(|bound| bound + s.dist[t]);
+            // Capped fold at the *furthest* deficit's distance: settled
+            // nodes carry exact distances, every unsettled label is
+            // ≥ dt, and the same case analysis as the solver's fold
+            // (ssp.rs) keeps all reduced costs non-negative. Every
+            // shortest path to every remaining deficit lies within dt,
+            // so the whole multi-target shortest-path DAG goes to
+            // reduced cost zero.
+            let dt = s.dist[t];
+            for v in 0..n {
+                s.pot[v] += s.dist[v].min(dt);
+            }
+            to_route -= augment_recorded_path(net, s, t, to_route, &mut out);
+            // The search compacted the phase's shortest-path candidate
+            // arcs as it settled nodes; the drains below walk only that
+            // adjacency, so re-draining until dry costs O(candidates),
+            // not O(m). A re-drain resets the DFS cursors, which
+            // recovers any path the previous sweep's pruning missed for
+            // the price of one cheap sweep instead of a Dijkstra.
+            while to_route > 0 {
+                drains += 1;
+                let drained = drain_zero_paths(net, s, to_route, &mut out);
+                if drained == 0 {
+                    break;
+                }
+                to_route -= drained;
+            }
+        }
+        if std::env::var_os("RASC_REPAIR_PROF").is_some() {
+            eprintln!("repair prof: phases={} drains={}", out.phases, drains);
+        }
+    } else {
+        // SPFA fallback, one path per search: pick any excess node,
+        // augment along a shortest residual path to a deficit node,
+        // repeat. An excess node that reaches no deficit is skipped; a
+        // later augmentation can open residual arcs toward it, so
+        // passes repeat while progress is made.
+        let mut progress = true;
+        while to_route > 0 && progress {
+            progress = false;
+            for src in 0..n {
+                while s.bal[src] > 0 && to_route > 0 {
+                    out.phases += 1;
+                    let Some(t) = spfa_to_deficit(net, src, s) else {
+                        break;
+                    };
+                    to_route -= augment_recorded_path(net, s, t, to_route, &mut out);
+                    progress = true;
+                }
+            }
+        }
+    }
+    out.shortfall = to_route;
+    out
+}
+
+/// Augments along the `prev_arc` chain the last search recorded, from
+/// deficit node `t` back to whichever excess seed the chain reaches
+/// (seeds carry `prev_arc == usize::MAX`). Returns the units routed.
+fn augment_recorded_path(
+    net: &mut FlowNetwork,
+    s: &mut SspScratch,
+    t: NodeId,
+    quota: i64,
+    out: &mut RepairOutcome,
+) -> i64 {
+    let mut bottleneck = (-s.bal[t]).min(quota);
+    let mut v = t;
+    while s.prev_arc[v] != usize::MAX {
+        let a = s.prev_arc[v];
+        bottleneck = bottleneck.min(net.arcs[a].cap);
+        v = net.arc_tail(a);
+    }
+    let src = v;
+    bottleneck = bottleneck.min(s.bal[src]);
+    debug_assert!(bottleneck > 0);
+    let mut v = t;
+    let mut path_cost = 0i64;
+    while s.prev_arc[v] != usize::MAX {
+        let a = s.prev_arc[v];
+        path_cost += net.arcs[a].cost;
+        net.push(a, bottleneck);
+        v = net.arc_tail(a);
+    }
+    s.bal[src] -= bottleneck;
+    s.bal[t] += bottleneck;
+    out.routed += bottleneck;
+    out.cost_delta += bottleneck * path_cost;
+    bottleneck
+}
+
+/// Multi-source heap Dijkstra over reduced costs seeded from *every*
+/// node with remaining excess (all at distance 0 — the super-source
+/// construction of multi-supply SSP), run until every reachable node
+/// with remaining deficit has settled. Returns the *furthest* settled
+/// deficit node — its distance caps the caller's potential fold, and
+/// every shortest path to every deficit lies within it — or `None` when
+/// no deficit is reachable from any excess — at which point no further
+/// augmentation is possible at all, so the caller reports the remaining
+/// imbalance as a shortfall.
+fn dijkstra_from_excess(net: &FlowNetwork, s: &mut SspScratch) -> Option<NodeId> {
+    let n = net.num_nodes();
+    let SspScratch {
+        pot,
+        dist,
+        prev_arc,
+        heap,
+        bal,
+        tight_lo,
+        tight_hi,
+        tight,
+        ..
+    } = s;
+    dist.fill(INF);
+    prev_arc.fill(usize::MAX);
+    tight_lo.clear();
+    tight_lo.resize(n, 0);
+    tight_hi.clear();
+    tight_hi.resize(n, 0);
+    tight.clear();
+    heap.clear();
+    let mut deficits_left = 0usize;
+    for (v, &b) in bal.iter().enumerate() {
+        if b > 0 {
+            dist[v] = 0;
+            heap.push(Reverse((0i64, v as u32)));
+        } else if b < 0 {
+            deficits_left += 1;
+        }
+    }
+    let mut furthest: Option<NodeId> = None;
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = u as usize;
+        if d > dist[u] {
+            continue;
+        }
+        if bal[u] < 0 {
+            furthest = Some(u);
+            deficits_left -= 1;
+            if deficits_left == 0 {
+                heap.clear();
+                break;
+            }
+        }
+        let (lo, hi) = net.out_range(u);
+        let base = d + pot[u];
+        tight_lo[u] = tight.len() as u32;
+        for i in lo..hi {
+            let ca = &net.csr_arcs[i];
+            if ca.cap <= 0 {
+                continue;
+            }
+            let to = ca.to as usize;
+            let nd = base + ca.cost - pot[to];
+            debug_assert!(nd >= d, "negative reduced cost at CSR position {i}");
+            if nd <= dist[to] {
+                if nd < dist[to] {
+                    dist[to] = nd;
+                    prev_arc[to] = net.csr[i] as usize;
+                    heap.push(Reverse((nd, to as u32)));
+                }
+                // Shortest-path candidate at settle time; a later,
+                // cheaper label for `to` invalidates it, so the drain
+                // re-checks reduced costs post-fold.
+                tight.push(i as u32);
+            }
+        }
+        tight_hi[u] = tight.len() as u32;
+    }
+    furthest
+}
+
+/// [`dijkstra_from_excess`] on Dial's bucket ring: identical contract
+/// (seed every excess at distance 0, settle until the last reachable
+/// deficit, return the furthest), with O(1) queue operations because
+/// every tentative label lives within `max_rc` of the current distance,
+/// making residues modulo `max_rc + 1` unambiguous. Touched buckets are
+/// cleared on exit so an early stop cannot leak entries into the next
+/// phase.
+fn dial_from_excess(net: &FlowNetwork, s: &mut SspScratch, max_rc: i64) -> Option<NodeId> {
+    let n = net.num_nodes();
+    let SspScratch {
+        pot,
+        dist,
+        prev_arc,
+        bal,
+        buckets,
+        touched,
+        tight_lo,
+        tight_hi,
+        tight,
+        ..
+    } = s;
+    let ring = max_rc as usize + 1;
+    if buckets.len() < ring {
+        buckets.resize_with(ring, Vec::new);
+    }
+    dist.fill(INF);
+    prev_arc.fill(usize::MAX);
+    tight_lo.clear();
+    tight_lo.resize(n, 0);
+    tight_hi.clear();
+    tight_hi.resize(n, 0);
+    tight.clear();
+    let mut outstanding = 0usize;
+    let mut deficits_left = 0usize;
+    for (v, &b) in bal.iter().enumerate() {
+        if b > 0 {
+            dist[v] = 0;
+            buckets[0].push(v as u32);
+            outstanding += 1;
+        } else if b < 0 {
+            deficits_left += 1;
+        }
+    }
+    if outstanding > 0 {
+        touched.push(0);
+    }
+    let mut furthest: Option<NodeId> = None;
+    let mut d = 0i64;
+    'scan: while outstanding > 0 {
+        let idx = (d as usize) % ring;
+        while let Some(u) = buckets[idx].pop() {
+            outstanding -= 1;
+            let u = u as usize;
+            if dist[u] != d {
+                continue; // stale: improved to a smaller label since insertion
+            }
+            if bal[u] < 0 {
+                furthest = Some(u);
+                deficits_left -= 1;
+                if deficits_left == 0 {
+                    break 'scan;
+                }
+            }
+            let (lo, hi) = net.out_range(u);
+            let base = d + pot[u];
+            tight_lo[u] = tight.len() as u32;
+            for i in lo..hi {
+                let ca = &net.csr_arcs[i];
+                if ca.cap <= 0 {
+                    continue;
+                }
+                let to = ca.to as usize;
+                let nd = base + ca.cost - pot[to];
+                debug_assert!(
+                    (d..=d + max_rc).contains(&nd),
+                    "reduced cost outside bucket span at CSR position {i}"
+                );
+                if nd <= dist[to] {
+                    if nd < dist[to] {
+                        dist[to] = nd;
+                        prev_arc[to] = net.csr[i] as usize;
+                        let b = (nd as usize) % ring;
+                        buckets[b].push(to as u32);
+                        touched.push(b as u32);
+                        outstanding += 1;
+                    }
+                    // Shortest-path candidate at settle time; a later,
+                    // cheaper label for `to` invalidates it, so the
+                    // drain re-checks reduced costs post-fold.
+                    tight.push(i as u32);
+                }
+            }
+            tight_hi[u] = tight.len() as u32;
+        }
+        d += 1;
+    }
+    for &b in touched.iter() {
+        buckets[b as usize].clear();
+    }
+    touched.clear();
+    furthest
+}
+
+/// Batch augmentation between Dijkstra phases: iterative DFS from each
+/// remaining excess node over the adjacency of shortest-path candidate
+/// arcs the search compacted while settling (`tight_lo`/`tight_hi`/
+/// `tight`), with Dinic-style per-node arc cursors so one drain visits
+/// each candidate arc O(1) times outside of augmentations. Candidates
+/// were tight when their tail settled but a later, cheaper label at the
+/// head invalidates some, so each step re-checks the (post-fold) reduced
+/// cost — only exact zeroes lie on true shortest paths, which is what
+/// makes every augmentation here a legal SSP step. Routes until no more
+/// paths are found and returns the total; the cursor pruning may miss
+/// paths that the next phase's Dijkstra then recovers, so a zero return
+/// must not be read as a shortfall.
+fn drain_zero_paths(
+    net: &mut FlowNetwork,
+    s: &mut SspScratch,
+    mut quota: i64,
+    out: &mut RepairOutcome,
+) -> i64 {
+    let n = net.num_nodes();
+    s.cur.clear();
+    s.cur.extend(s.tight_lo[..n].iter().map(|&o| o as usize));
+    s.on_path.clear();
+    s.on_path.resize(n, false);
+    let mut routed_total = 0i64;
+    'next_src: for src in 0..n {
+        while s.bal[src] > 0 && quota > 0 {
+            // One DFS attempt for one augmenting path from `src`. The
+            // path empties before every exit, so `on_path` marks never
+            // leak between attempts.
+            s.path.clear();
+            let mut v = src;
+            loop {
+                if s.bal[v] < 0 {
+                    let mut bottleneck = s.bal[src].min(-s.bal[v]).min(quota);
+                    for &j in &s.path {
+                        bottleneck = bottleneck.min(net.csr_arcs[s.tight[j] as usize].cap);
+                    }
+                    debug_assert!(bottleneck > 0);
+                    let mut path_cost = 0i64;
+                    for &j in &s.path {
+                        let a = net.csr[s.tight[j] as usize] as usize;
+                        path_cost += net.arcs[a].cost;
+                        net.push(a, bottleneck);
+                    }
+                    s.bal[src] -= bottleneck;
+                    s.bal[v] += bottleneck;
+                    out.routed += bottleneck;
+                    out.cost_delta += bottleneck * path_cost;
+                    quota -= bottleneck;
+                    routed_total += bottleneck;
+                    for &j in &s.path {
+                        s.on_path[net.csr_arcs[s.tight[j] as usize].to as usize] = false;
+                    }
+                    break; // retry from src: arcs may have saturated
+                }
+                let hi = s.tight_hi[v] as usize;
+                let mut stepped = false;
+                while s.cur[v] < hi {
+                    let j = s.cur[v];
+                    let ca = &net.csr_arcs[s.tight[j] as usize];
+                    let to = ca.to as usize;
+                    if ca.cap > 0
+                        && ca.cost + s.pot[v] - s.pot[to] == 0
+                        && to != src
+                        && !s.on_path[to]
+                    {
+                        s.path.push(j);
+                        s.on_path[to] = true;
+                        v = to;
+                        stepped = true;
+                        break;
+                    }
+                    s.cur[v] += 1;
+                }
+                if stepped {
+                    continue;
+                }
+                if v == src {
+                    continue 'next_src; // this excess is exhausted
+                }
+                // Dead end: retreat one step and advance past the arc.
+                let j = s.path.pop().expect("non-source node is on a path");
+                s.on_path[v] = false;
+                v = net.arc_tail(net.csr[s.tight[j] as usize] as usize);
+                s.cur[v] += 1;
+            }
+        }
+        if quota == 0 {
+            break;
+        }
+    }
+    routed_total
+}
+
+/// SPFA fallback when no valid potentials are carried: full relaxation
+/// from `source` over true costs, then the nearest deficit node. Safe on
+/// negative residual costs; requires no negative cycles, which min-cost
+/// pseudo-flows guarantee.
+fn spfa_to_deficit(net: &FlowNetwork, source: NodeId, s: &mut SspScratch) -> Option<NodeId> {
+    spfa(net, source, source, s);
+    let mut best: Option<NodeId> = None;
+    for v in 0..net.num_nodes() {
+        if s.bal[v] < 0 && s.dist[v] < INF && best.is_none_or(|b| s.dist[v] < s.dist[b]) {
+            best = Some(v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, FlowSolver};
+
+    /// Two parallel two-hop routes plus a direct expensive edge.
+    fn diamond() -> (FlowNetwork, [EdgeId; 5]) {
+        let mut net = FlowNetwork::new(4);
+        let a = net.add_edge(0, 1, 10, 1);
+        let b = net.add_edge(1, 3, 10, 1);
+        let c = net.add_edge(0, 2, 10, 4);
+        let d = net.add_edge(2, 3, 10, 4);
+        let e = net.add_edge(0, 3, 10, 20);
+        (net, [a, b, c, d, e])
+    }
+
+    #[test]
+    fn deletion_repair_matches_cold_resolve() {
+        for alg in [Algorithm::DijkstraSsp, Algorithm::DialSsp] {
+            let (mut net, edges) = diamond();
+            let mut solver = FlowSolver::new(alg);
+            let sol = solver.solve(&mut net, 0, 3, 15).unwrap();
+            assert_eq!(sol.flow, 15);
+            // Kill the cheap route's second hop; its 10 units must move.
+            let out = solver.repair_deletions(&mut net, &[edges[1]]);
+            assert!(out.complete(), "{out:?}");
+            assert_eq!(out.routed, 10);
+            // Cold re-solve of the damaged graph for comparison.
+            let (mut cold, e2) = diamond();
+            cold.disable_edge(e2[1]);
+            let want = FlowSolver::new(alg).solve(&mut cold, 0, 3, 15).unwrap();
+            assert_eq!(net.total_cost(), want.cost, "{alg:?}");
+            assert_eq!(sol.cost + out.cost_delta, want.cost, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn repair_without_valid_potentials_falls_back_to_spfa() {
+        let (mut net, edges) = diamond();
+        // Solve with a non-SSP algorithm: no potentials are carried.
+        let mut solver = FlowSolver::new(Algorithm::NetworkSimplex);
+        let sol = solver.solve(&mut net, 0, 3, 15).unwrap();
+        let out = solver.repair_deletions(&mut net, &[edges[1]]);
+        assert!(!out.warm);
+        assert!(out.complete(), "{out:?}");
+        let (mut cold, e2) = diamond();
+        cold.disable_edge(e2[1]);
+        let want = FlowSolver::new(Algorithm::SpfaSsp)
+            .solve(&mut cold, 0, 3, 15)
+            .unwrap();
+        assert_eq!(net.total_cost(), want.cost);
+        assert_eq!(sol.cost + out.cost_delta, want.cost);
+    }
+
+    #[test]
+    fn rate_increase_matches_cold_solve_at_higher_target() {
+        let (mut net, _) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::DialSsp);
+        solver.solve(&mut net, 0, 3, 8).unwrap();
+        let out = solver.increase_flow(&mut net, 0, 3, 9);
+        assert!(out.complete(), "{out:?}");
+        let (mut cold, _) = diamond();
+        let want = FlowSolver::new(Algorithm::DialSsp)
+            .solve(&mut cold, 0, 3, 17)
+            .unwrap();
+        assert_eq!(net.total_cost(), want.cost);
+    }
+
+    #[test]
+    fn rate_decrease_cancels_expensive_paths_first() {
+        let (mut net, edges) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::DijkstraSsp);
+        // 15 units: 10 cheap + 5 expensive middle route.
+        solver.solve(&mut net, 0, 3, 15).unwrap();
+        let out = solver.decrease_flow(&mut net, 0, 3, 5);
+        assert!(out.complete(), "{out:?}");
+        assert!(out.cost_delta < 0);
+        // The expensive route is emptied, the cheap one untouched.
+        assert_eq!(net.flow_on(edges[2]), 0);
+        assert_eq!(net.flow_on(edges[0]), 10);
+        let (mut cold, _) = diamond();
+        let want = FlowSolver::new(Algorithm::DijkstraSsp)
+            .solve(&mut cold, 0, 3, 10)
+            .unwrap();
+        assert_eq!(net.total_cost(), want.cost);
+    }
+
+    #[test]
+    fn shortfall_reported_when_capacity_is_gone() {
+        let mut net = FlowNetwork::new(3);
+        let a = net.add_edge(0, 1, 5, 1);
+        let b = net.add_edge(1, 2, 5, 1);
+        let thin = net.add_edge(0, 2, 2, 9);
+        let mut solver = FlowSolver::new(Algorithm::DialSsp);
+        solver.solve(&mut net, 0, 2, 5).unwrap();
+        let out = solver.repair_deletions(&mut net, &[b]);
+        assert_eq!(out.routed, 2, "only the thin bypass remains");
+        assert_eq!(out.shortfall, 3);
+        assert_eq!(net.flow_on(thin), 2);
+        // The unroutable remainder stays as residual imbalance on the
+        // first hop; a caller seeing a shortfall re-solves cold.
+        assert_eq!(net.flow_on(a), 3);
+    }
+
+    #[test]
+    fn deleting_zero_flow_edges_is_free() {
+        let (mut net, edges) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::DialSsp);
+        solver.solve(&mut net, 0, 3, 5).unwrap();
+        let before = net.total_cost();
+        // Only the cheap route carries flow; the rest delete for free.
+        let out = solver.repair_deletions(&mut net, &[edges[2], edges[4]]);
+        assert_eq!(out.routed, 0);
+        assert_eq!(out.cost_delta, 0);
+        assert!(out.complete());
+        assert_eq!(net.total_cost(), before);
+    }
+
+    #[test]
+    fn repeated_repairs_stay_optimal() {
+        // Chain of crashes: repair after each and compare against a cold
+        // solve of the cumulatively damaged graph. At target 8 each route
+        // can absorb the whole flow, so every repair stays feasible.
+        let (mut net, edges) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::DijkstraSsp);
+        solver.solve(&mut net, 0, 3, 8).unwrap();
+        for kill in [edges[0], edges[3]] {
+            let out = solver.repair_deletions(&mut net, &[kill]);
+            assert!(out.complete(), "{out:?}");
+            let mut cold = FlowNetwork::new(4);
+            for e in net.edges() {
+                let (u, v) = net.endpoints(e);
+                cold.add_edge(u, v, net.capacity(e), net.cost(e));
+            }
+            let want = FlowSolver::new(Algorithm::SpfaSsp)
+                .solve(&mut cold, 0, 3, 8)
+                .unwrap();
+            assert_eq!(net.total_cost(), want.cost);
+        }
+    }
+}

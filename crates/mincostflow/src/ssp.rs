@@ -50,13 +50,13 @@ pub enum SspVariant {
     Dial,
 }
 
-const INF: i64 = i64::MAX / 4;
+pub(crate) const INF: i64 = i64::MAX / 4;
 
 /// Above this reduced-cost span the bucket ring would be larger than the
 /// graph is worth; [`SspVariant::Dial`] falls back to the heap for that
 /// path. Composition-graph spans are ≤ ~2300 (drop ≤ 1000 + util ≤ 100 +
 /// small latency term, doubled by node splitting), far below this.
-const DIAL_SPAN_LIMIT: i64 = 8192;
+pub(crate) const DIAL_SPAN_LIMIT: i64 = 8192;
 
 /// Retained state for [`SspSolver`]: scratch buffers for the shortest-path
 /// engines plus the warm-start potential snapshot carried across solves.
@@ -64,19 +64,42 @@ const DIAL_SPAN_LIMIT: i64 = 8192;
 /// solving over an arena-reset [`FlowNetwork`] performs no allocations.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct SspScratch {
-    /// Johnson potentials for the current solve.
-    pot: Vec<i64>,
+    /// Johnson potentials for the current solve. After a completed solve
+    /// these are the *final* potentials, under which the installed flow's
+    /// residual network has non-negative reduced costs — exactly the
+    /// warm-start the `repair` module wants.
+    pub(crate) pot: Vec<i64>,
     /// Tentative distances for the current shortest path.
-    dist: Vec<i64>,
+    pub(crate) dist: Vec<i64>,
     /// Arc over which each node was reached on the current shortest path.
-    prev_arc: Vec<usize>,
+    pub(crate) prev_arc: Vec<usize>,
     /// Binary heap for [`SspVariant::Dijkstra`] (and the Dial fallback).
-    heap: BinaryHeap<Reverse<(i64, u32)>>,
-    /// Bucket ring for [`SspVariant::Dial`]; index = distance mod span.
-    buckets: Vec<Vec<u32>>,
+    pub(crate) heap: BinaryHeap<Reverse<(i64, u32)>>,
+    /// Signed per-node imbalance used by the `repair` module (positive =
+    /// excess, negative = deficit).
+    pub(crate) bal: Vec<i64>,
+    /// Dinic-style per-node cursor into the tight-arc adjacency, used by
+    /// the repair module's zero-reduced-cost batch augmentation.
+    pub(crate) cur: Vec<usize>,
+    /// On-current-path markers for the repair DFS.
+    pub(crate) on_path: Vec<bool>,
+    /// Positions (into `tight`) of the arcs on the repair DFS's path.
+    pub(crate) path: Vec<usize>,
+    /// Per-node range starts into `tight`: the repair phase's compacted
+    /// adjacency of shortest-path candidate arcs, grouped by tail in
+    /// settle order.
+    pub(crate) tight_lo: Vec<u32>,
+    /// Per-node range ends into `tight`.
+    pub(crate) tight_hi: Vec<u32>,
+    /// CSR positions of the current repair phase's shortest-path
+    /// candidate arcs (tight at settle time; the drain re-checks).
+    pub(crate) tight: Vec<u32>,
+    /// Bucket ring for [`SspVariant::Dial`] and the repair module's
+    /// multi-source phase search; index = distance mod span.
+    pub(crate) buckets: Vec<Vec<u32>>,
     /// Bucket indices dirtied by the current path, cleared afterwards
     /// (an early exit at the sink leaves unvisited entries behind).
-    touched: Vec<u32>,
+    pub(crate) touched: Vec<u32>,
     /// SPFA work queue.
     queue: VecDeque<u32>,
     /// SPFA in-queue flags.
@@ -146,7 +169,7 @@ impl SspSolver {
         s.prev_arc.clear();
         s.prev_arc.resize(n, usize::MAX);
         if self.variant != SspVariant::Spfa {
-            init_potentials(net, s, n, source);
+            init_potentials(net, s, n, source, self.variant == SspVariant::Dial);
         }
 
         let mut flow = 0i64;
@@ -196,13 +219,14 @@ impl SspSolver {
                 // `min(du, dt) − min(dv, dt) ≤ dt`, so the fold grows any
                 // reduced cost by at most `dt`.
                 dial_span = dial_span.map(|bound| bound + dt);
-                if first_path {
+                if first_path && self.variant == SspVariant::Dial {
                     // After the first fold the potentials are valid for
                     // *this graph at zero flow* (nothing augmented yet) —
                     // exactly what the next structurally similar solve
                     // wants to warm-start from. Final potentials would
                     // not do: arcs saturated later reappear on rebuild
-                    // with negative reduced cost.
+                    // with negative reduced cost. Only Dial reads the
+                    // snapshot back (see `init_potentials`).
                     s.warm.clone_from(&s.pot);
                     s.has_warm = true;
                 }
@@ -233,13 +257,29 @@ impl SspSolver {
     }
 }
 
-/// Initializes `s.pot` for a new solve: reuse the warm snapshot when it
-/// still yields non-negative reduced costs on every active arc (one O(m)
-/// scan), else zeros when no active arc has negative cost, else one
-/// Bellman–Ford pass. The zero check is O(1) in the common case via the
-/// network's negative-edge counter and flow-dirty flag.
-fn init_potentials(net: &FlowNetwork, s: &mut SspScratch, n: usize, source: NodeId) {
-    if s.has_warm && s.warm.len() == n && potentials_valid(net, &s.warm) {
+/// Initializes `s.pot` for a new solve: reuse the warm snapshot when
+/// `use_warm` and it still yields non-negative reduced costs on every
+/// active arc (one O(m) scan), else zeros when no active arc has
+/// negative cost, else one Bellman–Ford pass. The zero check is O(1) in
+/// the common case via the network's negative-edge counter and
+/// flow-dirty flag.
+///
+/// Only the Dial variant passes `use_warm`: it converts the warm
+/// snapshot's small reduced-cost span into O(1) bucket operations, a
+/// measured win at every size. The heap Dijkstra gains nothing — under
+/// warm potentials the previous solve's optimal paths form a
+/// zero-reduced-cost plateau that costs as many heap operations to
+/// explore as the cold cost-ordered region — so for it the revalidation
+/// scan and the flatter heap are pure overhead (a measured 2–7%
+/// regression on the layered benches before this gate).
+fn init_potentials(
+    net: &FlowNetwork,
+    s: &mut SspScratch,
+    n: usize,
+    source: NodeId,
+    use_warm: bool,
+) {
+    if use_warm && s.has_warm && s.warm.len() == n && potentials_valid(net, &s.warm) {
         s.pot.clone_from(&s.warm);
         return;
     }
@@ -251,7 +291,7 @@ fn init_potentials(net: &FlowNetwork, s: &mut SspScratch, n: usize, source: Node
 }
 
 /// Whether `pot` keeps every active arc's reduced cost non-negative.
-fn potentials_valid(net: &FlowNetwork, pot: &[i64]) -> bool {
+pub(crate) fn potentials_valid(net: &FlowNetwork, pot: &[i64]) -> bool {
     (0..net.arcs.len()).all(|a| {
         let arc = &net.arcs[a];
         arc.cap <= 0 || arc.cost + pot[net.arc_tail(a)] - pot[arc.to] >= 0
@@ -264,7 +304,7 @@ fn has_active_negative_arc(net: &FlowNetwork) -> bool {
 }
 
 /// Maximum reduced cost over active arcs — the bucket-ring span Dial needs.
-fn max_reduced_cost(net: &FlowNetwork, pot: &[i64]) -> i64 {
+pub(crate) fn max_reduced_cost(net: &FlowNetwork, pot: &[i64]) -> i64 {
     let mut max_rc = 0;
     for a in 0..net.arcs.len() {
         let arc = &net.arcs[a];
@@ -279,7 +319,7 @@ fn max_reduced_cost(net: &FlowNetwork, pot: &[i64]) -> i64 {
 
 /// Queue-based Bellman–Ford from `source`. Returns whether the sink was
 /// reached; fills `dist`/`prev_arc`.
-fn spfa(net: &FlowNetwork, source: NodeId, sink: NodeId, s: &mut SspScratch) -> bool {
+pub(crate) fn spfa(net: &FlowNetwork, source: NodeId, sink: NodeId, s: &mut SspScratch) -> bool {
     let SspScratch {
         dist,
         prev_arc,

@@ -29,6 +29,7 @@
 //! view, so later substreams (and later requests) see reduced capacity —
 //! Algorithm 1's "update the node capacities" step.
 
+use super::cache::{CachedSubstream, CompositionCache};
 use super::{
     apply_reservations, for_each_commitment, gain_prefix, precheck, with_rollback, ComposeError,
     Composer, ProviderMap,
@@ -41,7 +42,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Rates are scaled to integer milli-data-units/second for the solver.
-const RATE_SCALE: f64 = 1000.0;
+pub(crate) const RATE_SCALE: f64 = 1000.0;
 /// Drop ratios are scaled to integer milli-drops for arc costs.
 const COST_SCALE: f64 = 1000.0;
 /// Weight of the utilization term in arc costs. The paper's cost is the
@@ -127,6 +128,17 @@ struct Scratch {
     net: FlowNetwork,
     costs: CostMemo,
     solver: FlowSolver,
+    /// Cacheable description of the most recent plain-path solve (the
+    /// internal arcs per layer and the compose-time host costs); `None`
+    /// after a conservative re-solve, whose graph repair cannot reuse.
+    last_meta: Option<SolveMeta>,
+}
+
+/// What [`CachedSubstream`] needs beyond the arena itself.
+#[derive(Clone, Debug)]
+struct SolveMeta {
+    layers: Vec<Vec<(mincostflow::EdgeId, simnet::NodeId)>>,
+    host_costs: Vec<(simnet::NodeId, i64)>,
 }
 
 /// The RASC composer.
@@ -138,6 +150,8 @@ pub struct MinCostComposer {
     /// small latency-proportional cost (see [`LATENCY_WEIGHT`]).
     pub latencies: Option<Arc<LatencyMatrix>>,
     scratch: Scratch,
+    /// Retained solves for incremental repair (see `compose::cache`).
+    pub(crate) cache: CompositionCache,
 }
 
 impl Composer for MinCostComposer {
@@ -150,6 +164,7 @@ impl Composer for MinCostComposer {
         _rng: &mut SimRng,
     ) -> Result<ExecutionGraph, ComposeError> {
         precheck(req, catalog, providers)?;
+        self.cache.begin_compose();
         with_rollback(view, |view| {
             let mut substream_stages = Vec::with_capacity(req.graph.substreams.len());
             for (l, sub) in req.graph.substreams.iter().enumerate() {
@@ -172,6 +187,7 @@ impl Composer for MinCostComposer {
                 // min-cost still admits anything the single-placement
                 // baselines could (a single placement is a feasible flow).
                 if overcommits_a_host(&partial_req, catalog, view, &partial) {
+                    self.scratch.last_meta = None;
                     partial.substreams[0] =
                         match self.compose_substream_conservative(req, catalog, providers, view, l)
                         {
@@ -180,10 +196,22 @@ impl Composer for MinCostComposer {
                                 .ok_or(e)?,
                         };
                 }
+                // Snapshot the solved arena for incremental repair while
+                // it still holds the plain-path flow (the meta is `None`
+                // whenever a fallback path produced these stages).
+                let meta = self.scratch.last_meta.take();
+                let cached = meta.map(|m| CachedSubstream {
+                    net: self.scratch.net.clone(),
+                    solver: self.scratch.solver.clone(),
+                    layers: m.layers,
+                    host_costs: m.host_costs,
+                });
+                self.cache.note_substream(cached);
                 // Reserve before the next substream (Algorithm 1).
                 apply_reservations(&partial_req, catalog, &partial, view);
                 substream_stages.push(partial.substreams.pop().expect("one substream"));
             }
+            self.cache.finish_compose();
             Ok(ExecutionGraph {
                 substreams: substream_stages,
             })
@@ -192,6 +220,30 @@ impl Composer for MinCostComposer {
 
     fn name(&self) -> &'static str {
         "mincost"
+    }
+
+    fn retain_for_repair(&mut self, key: usize) {
+        self.cache.retain(key);
+    }
+
+    fn discard_retained(&mut self, key: usize) {
+        self.cache.discard(key);
+    }
+
+    fn discard_all_retained(&mut self) {
+        self.cache.discard_all();
+    }
+
+    fn repair(
+        &mut self,
+        key: usize,
+        req: &ServiceRequest,
+        catalog: &ServiceCatalog,
+        graph: &ExecutionGraph,
+        dead: simnet::NodeId,
+        view: &SystemView,
+    ) -> Option<ExecutionGraph> {
+        self.cache.repair(key, req, catalog, graph, dead, view)
     }
 }
 
@@ -216,6 +268,7 @@ impl MinCostComposer {
             algorithm,
             latencies: None,
             scratch: Scratch::default(),
+            cache: CompositionCache::default(),
         }
     }
 
@@ -299,7 +352,13 @@ impl MinCostComposer {
         if self.scratch.solver.algorithm() != self.algorithm {
             self.scratch.solver = FlowSolver::new(self.algorithm);
         }
-        let Scratch { net, costs, solver } = &mut self.scratch;
+        let Scratch {
+            net,
+            costs,
+            solver,
+            last_meta,
+        } = &mut self.scratch;
+        *last_meta = None;
         net.reset(2);
         costs.begin(view.len());
         let src = 0usize;
@@ -389,6 +448,32 @@ impl MinCostComposer {
             Err(_) => return Err(ComposeError::InsufficientCapacity { substream: l }),
         }
 
+        // Record what incremental repair needs (plain path only: the
+        // conservative shares bake role-split capacities into the arcs,
+        // which a later repair must not treat as the host's true r_max).
+        if shrink.is_none() {
+            let layers: Vec<Vec<(mincostflow::EdgeId, simnet::NodeId)>> = layer_nodes
+                .iter()
+                .zip(&internal_edges)
+                .map(|(nodes, edges)| {
+                    nodes
+                        .iter()
+                        .zip(edges)
+                        .map(|(&(_, _, host), &e)| (e, host))
+                        .collect()
+                })
+                .collect();
+            // Layer hosts only: the endpoint arcs are shared by every
+            // path, so a uniform cost shift there never changes which
+            // placements are optimal and must not poison the repair
+            // path's drift check.
+            let mut hosts: Vec<simnet::NodeId> = layers.iter().flatten().map(|&(_, h)| h).collect();
+            hosts.sort_unstable();
+            hosts.dedup();
+            let host_costs = hosts.into_iter().map(|h| (h, costs.get(view, h))).collect();
+            *last_meta = Some(SolveMeta { layers, host_costs });
+        }
+
         // Read placements off the internal edges.
         let mut stages = Vec::with_capacity(services.len());
         for (i, &service) in services.iter().enumerate() {
@@ -427,9 +512,11 @@ fn to_milli(rate: f64) -> i64 {
 /// same-node transfer discounts included) — exactly what the engine
 /// will commit on admission — so passing this check per substream
 /// guarantees, by induction over substreams, that the admission bound
-/// (committed ≤ capacity × headroom) holds. `req`/`graph` must be the
-/// single-substream pair.
-fn overcommits_a_host(
+/// (committed ≤ capacity × headroom) holds. `req`/`graph` are the
+/// single-substream pair during composition; the repair path reuses the
+/// check over a whole candidate graph (the formula is per-ledger-entry,
+/// so it aggregates correctly either way).
+pub(crate) fn overcommits_a_host(
     req: &ServiceRequest,
     catalog: &ServiceCatalog,
     view: &SystemView,
@@ -562,7 +649,7 @@ fn place_from(
 /// Arc cost of routing through a host: observed drop ratio plus the
 /// load-proportional prior (see [`UTIL_WEIGHT`]).
 #[inline]
-fn cost_of(view: &SystemView, host: simnet::NodeId) -> i64 {
+pub(crate) fn cost_of(view: &SystemView, host: simnet::NodeId) -> i64 {
     let observed = (view.drop_ratio(host).clamp(0.0, 1.0) * COST_SCALE).round() as i64;
     let prior = (view.utilization(host) * UTIL_WEIGHT).round() as i64;
     observed + prior

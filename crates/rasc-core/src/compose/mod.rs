@@ -20,6 +20,7 @@
 //! be carried within remaining capacities, the whole request is rejected
 //! and the view is left untouched (reservations are rolled back).
 
+mod cache;
 mod greedy;
 mod mincost;
 mod random;
@@ -83,6 +84,41 @@ pub trait Composer {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Retains the most recent successful [`compose`](Self::compose)'s
+    /// internal state under `key` (the engine's application id) for
+    /// later incremental repair. Composers without retained state — the
+    /// baselines — ignore this, so the engine's adaptation path works
+    /// uniformly and merely degrades to cold recomposition.
+    fn retain_for_repair(&mut self, _key: usize) {}
+
+    /// Drops any state retained under `key` (the application stopped).
+    fn discard_retained(&mut self, _key: usize) {}
+
+    /// Drops all retained state (e.g. capacities were restored, so
+    /// every cached composition is priced against a stale world).
+    fn discard_all_retained(&mut self) {}
+
+    /// Attempts an in-place repair of `key`'s retained composition
+    /// after node `dead` became unusable: evacuates its placements by
+    /// re-routing only the lost rate. Returns the repaired execution
+    /// graph — same substream rates, no placements on `dead` — or
+    /// `None` when the engine must recompose cold. `view` is the
+    /// current measured snapshot with the application's own ledger
+    /// credited back; no reservations are applied to it (the engine
+    /// maintains the ledger through the swap). The default has no
+    /// retained state and always answers `None`.
+    fn repair(
+        &mut self,
+        _key: usize,
+        _req: &ServiceRequest,
+        _catalog: &ServiceCatalog,
+        _graph: &ExecutionGraph,
+        _dead: NodeId,
+        _view: &SystemView,
+    ) -> Option<ExecutionGraph> {
+        None
+    }
 }
 
 /// Which composer an engine runs (select-by-config for experiments).

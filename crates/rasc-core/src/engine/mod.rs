@@ -675,6 +675,7 @@ impl Engine {
             r.components,
             r.split_requests,
             r.recompositions,
+            r.repairs,
         ];
         words.extend_from_slice(&r.drops);
         words.push(self.queue.total_scheduled());
@@ -690,6 +691,24 @@ impl Engine {
 // The committed-rate ledger formula shared with the composers and the
 // auditor (`audit.rs` reaches it as `super::for_each_commitment`).
 pub(crate) use crate::compose::for_each_commitment;
+
+/// The repair contract a composer-returned graph must honour before the
+/// engine swaps it in: identical substream/stage shape and services, no
+/// placement left on the evacuated node, and per-stage total rates
+/// preserved (repair re-routes flow, it never renegotiates admission).
+fn repaired_graph_is_sound(old: &ExecutionGraph, new: &ExecutionGraph, dead: NodeId) -> bool {
+    old.substreams.len() == new.substreams.len()
+        && old.substreams.iter().zip(&new.substreams).all(|(o, n)| {
+            o.len() == n.len()
+                && o.iter().zip(n).all(|(os, ns)| {
+                    os.service == ns.service
+                        && !ns.placements.is_empty()
+                        && ns.placements.iter().all(|p| p.node != dead && p.rate > 0.0)
+                        && (os.total_rate() - ns.total_rate()).abs()
+                            <= 1e-6 * os.total_rate().max(1.0)
+                })
+        })
+}
 
 impl World for EngineState {
     type Event = Event;
@@ -786,6 +805,9 @@ impl EngineState {
                 let components = graph.component_count();
                 let split = graph.has_splitting();
                 let app = self.install_app(req, graph);
+                // Let the composer keep its solve state for this app's
+                // incremental repair (no-op for the baselines).
+                self.composer.retain_for_repair(app);
                 if let Some(tr) = &mut self.trace {
                     tr.record(
                         now,
@@ -1269,13 +1291,136 @@ impl EngineState {
             .collect();
         for app in affected {
             let req = self.apps[app].req.clone();
+            let endpoints_alive = self.nodes[req.source].alive && self.nodes[req.destination].alive;
+            // Adaptation hot path: repair the retained composition in
+            // place — re-route only the rate the lost node carried —
+            // and fall back to the cold stop-and-resubmit round trip
+            // when the composer declines (no retained state, repair
+            // shortfall, stale prices, or moved capacity).
+            if endpoints_alive && self.try_repair_app(now, app, v) {
+                continue;
+            }
             self.handle_app_stop(app);
-            if self.nodes[req.source].alive && self.nodes[req.destination].alive {
+            if endpoints_alive {
                 self.report.recompositions += 1;
                 if let Ok(new_app) = self.handle_submit(now, req, q) {
                     if let Some(tr) = &mut self.trace {
                         tr.record(now, TraceEvent::Recomposed { new_app });
                     }
+                }
+            }
+        }
+    }
+
+    /// Attempts the composer's in-place repair for `app` after `v`
+    /// became unusable. On success the execution graph is swapped under
+    /// the same app id (ledger, components, and dispatch rewired), so
+    /// delivery resumes without a teardown/resubmit round trip.
+    fn try_repair_app(&mut self, now: SimTime, app: AppId, v: NodeId) -> bool {
+        let touches_v = self.apps[app]
+            .graph
+            .substreams
+            .iter()
+            .flatten()
+            .any(|st| st.placements.iter().any(|p| p.node == v));
+        if !touches_v {
+            // Nothing to evacuate: the app was swept up because `v` is
+            // one of its endpoints (degradation path), and repair
+            // cannot move an endpoint — recompose cold.
+            return false;
+        }
+        let req = self.apps[app].req.clone();
+        let old_graph = self.apps[app].graph.clone();
+        // Validate the repair against the current measured view with
+        // the app's own ledger credited back — exactly the capacity a
+        // cold stop-and-resubmit would negotiate against.
+        self.shift_commitments(&req, &old_graph, -1.0);
+        let view = self.measured_view(now);
+        self.shift_commitments(&req, &old_graph, 1.0);
+        let Some(new_graph) = self
+            .composer
+            .repair(app, &req, &self.catalog, &old_graph, v, &view)
+        else {
+            return false;
+        };
+        if !repaired_graph_is_sound(&old_graph, &new_graph, v) {
+            // The composer broke the repair contract (rates or shape
+            // changed, or the dead node is still placed). Never install
+            // such a graph; surface the bug when auditing is on.
+            if let Some(aud) = self.auditor.as_mut() {
+                aud.violation(format!(
+                    "repair: unsound graph for app {app} after node {v}"
+                ));
+            }
+            self.composer.discard_retained(app);
+            return false;
+        }
+        self.rewire_app(app, new_graph);
+        self.report.recompositions += 1;
+        self.report.repairs += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(now, TraceEvent::Repaired { app });
+        }
+        true
+    }
+
+    /// Adds (`sign = 1.0`) or releases (`sign = -1.0`) one graph's
+    /// committed-rate ledger entries.
+    fn shift_commitments(&mut self, req: &ServiceRequest, graph: &ExecutionGraph, sign: f64) {
+        let nodes = &mut self.nodes;
+        for_each_commitment(&self.catalog, req, graph, &mut |v, din, dout, dcpu| {
+            let node = &mut nodes[v];
+            node.committed_in = (node.committed_in + sign * din).max(0.0);
+            node.committed_out = (node.committed_out + sign * dout).max(0.0);
+            node.committed_cpu = (node.committed_cpu + sign * dcpu).max(0.0);
+        });
+    }
+
+    /// Swaps a repaired execution graph under `app`'s existing id:
+    /// releases the old graph's ledger commitments and component
+    /// instances, installs the new graph's, and rebuilds the dispatch
+    /// (WRR) state. Trackers, sequence numbers, pacing, and gains carry
+    /// over untouched — services and rates are repair-invariant. Units
+    /// in flight toward a removed component are dropped on arrival as
+    /// `Terminated`, exactly like the cold path's casualties.
+    fn rewire_app(&mut self, app: AppId, new_graph: ExecutionGraph) {
+        let req = self.apps[app].req.clone();
+        let old_graph = std::mem::replace(&mut self.apps[app].graph, new_graph.clone());
+        self.shift_commitments(&req, &old_graph, -1.0);
+        self.shift_commitments(&req, &new_graph, 1.0);
+        for (l, stages) in old_graph.substreams.iter().enumerate() {
+            for (i, stage) in stages.iter().enumerate() {
+                for p in &stage.placements {
+                    self.nodes[p.node].comps.remove(&(app, l, i));
+                }
+            }
+        }
+        for (l, stages) in new_graph.substreams.iter().enumerate() {
+            let first_targets: Vec<(NodeId, f64)> = stages[0]
+                .placements
+                .iter()
+                .map(|p| (p.node, p.rate))
+                .collect();
+            let first_chunk = self.stage_chunk(&first_targets, stages[0].service, req.unit_bits);
+            self.apps[app].source_wrr[l] = ChunkedWrr::new(Wrr::new(first_targets), first_chunk);
+            for (i, stage) in stages.iter().enumerate() {
+                let next: Option<Vec<(NodeId, f64)>> = stages
+                    .get(i + 1)
+                    .map(|nxt| nxt.placements.iter().map(|p| (p.node, p.rate)).collect());
+                for p in &stage.placements {
+                    let svc = self.catalog.get(stage.service);
+                    let comp = CompState {
+                        nominal_rate: p.rate,
+                        nominal_exec_secs: svc.exec_time.as_secs_f64(),
+                        service: stage.service,
+                        arrivals: RateEstimator::new(self.config.monitor_window.max(2)),
+                        exec_est: Ewma::new(0.2),
+                        downstream: next.clone().map(|t| {
+                            let chunk = self.stage_chunk(&t, stages[i + 1].service, req.unit_bits);
+                            ChunkedWrr::new(Wrr::new(t), chunk)
+                        }),
+                    };
+                    self.nodes[p.node].comps.insert((app, l, i), comp);
                 }
             }
         }
@@ -1345,6 +1490,11 @@ impl EngineState {
         }
         let base = self.base_specs[v];
         self.net.set_node_bandwidth(v, base.bw_in, base.bw_out);
+        // Every retained composition priced `v` at its degraded
+        // capacity (or evacuated it outright); repairing against those
+        // stale graphs would keep avoiding a healthy node forever, so
+        // the next adaptation of each app re-solves cold instead.
+        self.composer.discard_all_retained();
         if let Some(tr) = &mut self.trace {
             tr.record(now, TraceEvent::Restored { node: v });
         }
@@ -1372,6 +1522,7 @@ impl EngineState {
             return;
         }
         self.apps[app].active = false;
+        self.composer.discard_retained(app);
         let stop_time = self.now;
         if let Some(tr) = &mut self.trace {
             tr.record(stop_time, TraceEvent::AppStopped { app });

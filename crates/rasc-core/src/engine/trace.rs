@@ -47,6 +47,12 @@ pub enum TraceEvent {
         /// The replacement application id (a fresh id).
         new_app: AppId,
     },
+    /// An application's composition was repaired in place (incremental
+    /// recomposition: same app id, only the lost rate re-routed).
+    Repaired {
+        /// The application (keeps its id across the repair).
+        app: AppId,
+    },
     /// A node's NIC bandwidth degraded to a fraction of nominal.
     Degraded {
         /// The node.
@@ -127,6 +133,7 @@ impl Trace {
                 TraceEvent::AppStopped { app } => ("app_stopped", format!("app={app}")),
                 TraceEvent::NodeFailed { node } => ("node_failed", format!("node={node}")),
                 TraceEvent::Recomposed { new_app } => ("recomposed", format!("new_app={new_app}")),
+                TraceEvent::Repaired { app } => ("repaired", format!("app={app}")),
                 TraceEvent::Degraded { node, factor } => {
                     ("degraded", format!("node={node} factor={factor:.3}"))
                 }

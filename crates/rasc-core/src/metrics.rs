@@ -171,6 +171,9 @@ pub struct RunReport {
     pub split_requests: u64,
     /// Applications re-composed after a node failure.
     pub recompositions: u64,
+    /// Of the recompositions: adapted by in-place incremental repair
+    /// of the retained composition (no cold re-solve, same app id).
+    pub repairs: u64,
 }
 
 impl RunReport {

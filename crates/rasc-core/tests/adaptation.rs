@@ -1,0 +1,324 @@
+//! Adaptation equivalence for incremental recomposition (warm-restart
+//! min-cost repair on the adaptation hot path).
+//!
+//! * **Composer level** — across randomized instances, when the min-cost
+//!   composer repairs its retained composition after a host death, the
+//!   repaired placement must preserve every substream rate, avoid the
+//!   dead host, and cost the same as a *cold* re-composition on the
+//!   identical post-failure view: the successive-shortest-path repair is
+//!   exactly min-cost for the re-routed value, so any gap beyond the
+//!   alternative-optima tolerance (shared with the solver-equivalence
+//!   suite) is a bug, not a heuristic loss.
+//! * **Engine level** — bandwidth degradation evacuates the starved host
+//!   by in-place repair (same application id, no re-composition);
+//!   restoring capacities invalidates every retained composition, so the
+//!   next failure recomposes cold.
+//! * **Soak** — seeded crash/degrade/restore scripts under full audit
+//!   finish with zero invariant violations and exact unit conservation
+//!   while the repair path does the adapting.
+
+use desim::{SimDuration, SimRng};
+use rasc_core::compose::{Composer, MinCostComposer, ProviderMap};
+use rasc_core::engine::{Engine, EngineConfig};
+use rasc_core::model::{ExecutionGraph, ServiceCatalog, ServiceRequest};
+use rasc_core::view::SystemView;
+use simnet::{kbps, Topology, TopologyBuilder};
+
+// ---------------------------------------------------------------------
+// Composer-level equivalence
+// ---------------------------------------------------------------------
+
+struct Instance {
+    catalog: ServiceCatalog,
+    view: SystemView,
+    providers: ProviderMap,
+    req: ServiceRequest,
+}
+
+/// A layered instance shaped so post-failure repair is usually feasible:
+/// every service keeps at least three candidate hosts, and requested
+/// rates stay well inside a single NIC.
+fn random_instance(rng: &mut SimRng) -> Instance {
+    let nodes = rng.range_usize(7, 13);
+    let services = rng.range_usize(1, 4);
+    let catalog = ServiceCatalog::synthetic(services, 1);
+    let max_bw = 2_000.0;
+    let mut view = SystemView::fresh(&Topology::uniform(
+        nodes,
+        kbps(max_bw),
+        SimDuration::from_millis(10),
+    ));
+    for v in 0..nodes {
+        let excess = kbps(max_bw) - kbps(rng.range_f64(400.0, max_bw));
+        view.consume_measured(v, excess, excess);
+        view.set_drop_ratio(v, rng.range_f64(0.0, 0.4));
+    }
+    // Endpoints are the last two nodes; providers never include them.
+    let mut providers = ProviderMap::new();
+    for s in 0..services {
+        let mut hosts = Vec::new();
+        while hosts.len() < 3 {
+            hosts = (0..rng.range_usize(3, nodes.min(8)))
+                .map(|_| rng.range_usize(0, nodes - 2))
+                .collect();
+            hosts.sort_unstable();
+            hosts.dedup();
+        }
+        providers.insert(s, hosts);
+    }
+    let chain: Vec<usize> = (0..rng.range_usize(1, services + 1))
+        .map(|_| rng.range_usize(0, services))
+        .collect();
+    let rate = rng.range_f64(2.0, 30.0);
+    let req = ServiceRequest::chain(&chain, rate, nodes - 2, nodes - 1);
+    Instance {
+        catalog,
+        view,
+        providers,
+        req,
+    }
+}
+
+fn drop_cost(graph: &ExecutionGraph, view: &SystemView) -> f64 {
+    graph
+        .substreams
+        .iter()
+        .flatten()
+        .flat_map(|s| s.placements.iter())
+        .map(|p| p.rate * view.drop_ratio(p.node))
+        .sum()
+}
+
+fn placed_hosts(graph: &ExecutionGraph) -> Vec<usize> {
+    graph
+        .substreams
+        .iter()
+        .flatten()
+        .flat_map(|s| s.placements.iter().map(|p| p.node))
+        .collect()
+}
+
+/// Repair reaches a feasible placement whose cost matches a cold
+/// re-solve on the same post-failure view. Cases where repair declines
+/// (shortfall on the survivors) fall back cold by design and are skipped
+/// — but the suite must not be vacuous, so a floor on repaired cases is
+/// asserted at the end.
+#[test]
+fn repair_cost_matches_cold_recomposition() {
+    let mut rng = SimRng::new(0xada97);
+    let mut repaired = 0u32;
+    for case in 0..160u32 {
+        let inst = random_instance(&mut rng);
+        let mut comp = MinCostComposer::default();
+        let mut v1 = inst.view.clone();
+        let Ok(g) = comp.compose(
+            &inst.req,
+            &inst.catalog,
+            &inst.providers,
+            &mut v1,
+            &mut SimRng::new(1),
+        ) else {
+            continue;
+        };
+        comp.retain_for_repair(case as usize);
+        let Some(&victim) = placed_hosts(&g).first() else {
+            continue;
+        };
+        // The world after the crash: the victim advertises no capacity
+        // and total loss; every survivor is exactly as it was.
+        let mut after = inst.view.clone();
+        after.consume_measured(victim, f64::MAX, f64::MAX);
+        after.set_drop_ratio(victim, 1.0);
+        let Some(rg) = comp.repair(case as usize, &inst.req, &inst.catalog, &g, victim, &after)
+        else {
+            continue;
+        };
+        repaired += 1;
+
+        // Feasibility contract: evacuated, and every rate preserved.
+        assert!(
+            !placed_hosts(&rg).contains(&victim),
+            "case {case}: repaired placement still uses the dead host"
+        );
+        for (old_sub, new_sub) in g.substreams.iter().zip(&rg.substreams) {
+            assert_eq!(old_sub.len(), new_sub.len(), "case {case}: shape changed");
+            for (os, ns) in old_sub.iter().zip(new_sub) {
+                assert_eq!(os.service, ns.service, "case {case}: service changed");
+                let (a, b) = (os.total_rate(), ns.total_rate());
+                assert!(
+                    (a - b).abs() <= 1e-6 * a.max(1.0),
+                    "case {case}: stage rate drifted {a} -> {b}"
+                );
+            }
+        }
+
+        // Optimality contract: a cold re-composition against the same
+        // view must admit (repair succeeding proves feasibility) and be
+        // equally cheap, within the tolerance that integer scaling plus
+        // the secondary utilization/latency terms allow.
+        let mut v2 = after.clone();
+        let cold = MinCostComposer::default()
+            .compose(
+                &inst.req,
+                &inst.catalog,
+                &inst.providers,
+                &mut v2,
+                &mut SimRng::new(1),
+            )
+            .unwrap_or_else(|e| {
+                panic!("case {case}: repair found a placement but cold re-solve rejected: {e}")
+            });
+        let (rc, cc) = (drop_cost(&rg, &after), drop_cost(&cold, &after));
+        assert!(
+            (rc - cc).abs() <= 0.15 * inst.req.rates[0].max(1.0),
+            "case {case}: repair cost {rc} vs cold cost {cc}"
+        );
+    }
+    assert!(
+        repaired >= 40,
+        "suite is vacuous: only {repaired} repairs ran"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Engine-level behaviour
+// ---------------------------------------------------------------------
+
+const PROVIDERS: usize = 6;
+const NODES: usize = PROVIDERS + 2; // + source (6) and destination (7)
+
+/// 6 provider nodes offering both services, 2 endpoints, audit on.
+fn audited_engine(seed: u64) -> Engine {
+    let catalog = ServiceCatalog::synthetic(2, seed);
+    let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(15));
+    for _ in 0..NODES {
+        b.node(kbps(2_000.0), kbps(2_000.0));
+    }
+    let mut offers = vec![vec![0, 1]; PROVIDERS];
+    offers.push(vec![]);
+    offers.push(vec![]);
+    Engine::builder(NODES, catalog, seed)
+        .topology(b.build())
+        .offers(offers)
+        .config(EngineConfig {
+            audit: true,
+            audit_period_secs: 1.0,
+            ..Default::default()
+        })
+        .build()
+}
+
+fn hosts_of(engine: &Engine, app: usize) -> Vec<usize> {
+    placed_hosts(engine.app_graph(app))
+}
+
+#[test]
+fn degradation_repairs_in_place_and_restore_invalidates_the_cache() {
+    let mut e = audited_engine(5);
+    let app = e
+        .submit(ServiceRequest::chain(
+            &[0, 1],
+            25.0,
+            PROVIDERS,
+            PROVIDERS + 1,
+        ))
+        .unwrap();
+    e.run_for_secs(5.0);
+
+    // Starve one of the app's hosts: the commitments no longer fit, and
+    // the degraded (still alive) node is evacuated by in-place repair.
+    let victim = hosts_of(&e, app)[0];
+    e.degrade_node(victim, 0.02);
+    assert!(e.node_alive(victim), "degradation is not a crash");
+    let r = e.report();
+    assert_eq!(r.recompositions, 1);
+    assert_eq!(r.repairs, 1, "degradation should take the repair path");
+    assert_eq!(r.composed, 1, "repair must not re-run composition");
+    assert_eq!(e.app_count(), 1, "repair keeps the application in place");
+    assert!(
+        !hosts_of(&e, app).contains(&victim),
+        "still routed through the starved node"
+    );
+    e.run_for_secs(5.0);
+
+    // Restoring bandwidth discards every retained composition (each was
+    // priced and evacuated against the degraded world), so the next
+    // failure must fall back to cold stop-and-resubmit.
+    e.restore_node(victim);
+    let casualty = hosts_of(&e, app)[0];
+    e.fail_node(casualty);
+    let r2 = e.report();
+    assert_eq!(r2.recompositions, 2);
+    assert_eq!(r2.repairs, 1, "restore must have emptied the repair cache");
+    assert_eq!(r2.composed, 2, "cold recomposition re-runs composition");
+    let new_app = e.app_count() - 1;
+    assert!(!hosts_of(&e, new_app).contains(&casualty));
+
+    e.run_for_secs(5.0);
+    let audit = e.finish_run();
+    assert!(audit.clean(), "{:#?}", audit.violations);
+    let rf = e.report();
+    assert_eq!(
+        rf.generated,
+        rf.delivered + rf.total_drops(),
+        "units leaked"
+    );
+}
+
+/// Seeded crash/degrade/restore scripts under full audit: every run
+/// finishes clean with exact conservation, and across the seeds the
+/// repair path — not cold recomposition — does most of the adapting.
+#[test]
+fn audited_fault_scripts_repair_cleanly_across_seeds() {
+    let mut total_repairs = 0u64;
+    for seed in [3u64, 17, 29, 41, 53] {
+        let mut e = audited_engine(seed);
+        let a = e
+            .submit(ServiceRequest::chain(
+                &[0, 1],
+                18.0,
+                PROVIDERS,
+                PROVIDERS + 1,
+            ))
+            .unwrap();
+        let _b = e
+            .submit(ServiceRequest::chain(&[1], 12.0, PROVIDERS, PROVIDERS + 1))
+            .unwrap();
+        e.run_for_secs(4.0);
+
+        // Crash one of the first app's hosts, then starve and restore a
+        // survivor, then crash a second node — repairs, invalidation and
+        // cold fallback all exercised in one audited run.
+        let v1 = hosts_of(&e, a)[0];
+        e.fail_node(v1);
+        e.run_for_secs(4.0);
+        let survivor = (0..PROVIDERS).find(|&v| e.node_alive(v)).unwrap();
+        e.degrade_node(survivor, 0.05);
+        e.run_for_secs(4.0);
+        e.restore_node(survivor);
+        e.run_for_secs(2.0);
+        let v2 = (0..PROVIDERS)
+            .find(|&v| e.node_alive(v) && v != survivor)
+            .unwrap();
+        e.fail_node(v2);
+        e.run_for_secs(4.0);
+
+        let audit = e.finish_run();
+        assert!(audit.clean(), "seed {seed}: {:#?}", audit.violations);
+        let r = e.report();
+        assert_eq!(
+            r.generated,
+            r.delivered + r.total_drops(),
+            "seed {seed}: units leaked"
+        );
+        assert!(
+            r.recompositions >= 1,
+            "seed {seed}: the fault script never triggered adaptation"
+        );
+        total_repairs += r.repairs;
+    }
+    assert!(
+        total_repairs >= 3,
+        "repair path almost never taken across seeds: {total_repairs}"
+    );
+}

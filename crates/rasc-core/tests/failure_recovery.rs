@@ -49,19 +49,21 @@ fn app_recomposes_around_a_failed_provider() {
     let delivered_before = e.report().delivered;
     assert!(delivered_before > 0);
 
-    // Kill one of the app's hosts.
+    // Kill one of the app's hosts. The min-cost composer repairs its
+    // retained composition in place: same app id, no cold re-solve.
     let victim = hosts_of(&e, app)[0];
     e.fail_node(victim);
     assert!(!e.node_alive(victim));
     let r = e.report();
     assert_eq!(r.recompositions, 1);
-    assert_eq!(r.composed, 2, "recomposition re-ran composition");
+    assert_eq!(r.repairs, 1, "adaptation should take the repair path");
+    assert_eq!(r.composed, 1, "repair must not re-run composition");
+    assert_eq!(e.app_count(), 1, "repair keeps the application in place");
 
-    // The replacement graph avoids the corpse and delivery resumes.
-    let new_app = e.app_count() - 1;
+    // The repaired graph avoids the corpse and delivery resumes.
     assert!(
-        !hosts_of(&e, new_app).contains(&victim),
-        "recomposed onto the failed node"
+        !hosts_of(&e, app).contains(&victim),
+        "repaired onto the failed node"
     );
     e.run_for_secs(15.0);
     let r2 = e.report();
@@ -71,6 +73,40 @@ fn app_recomposes_around_a_failed_provider() {
         delivered_before,
         r2.delivered
     );
+}
+
+#[test]
+fn baseline_composers_still_recompose_cold() {
+    // The repair path is a min-cost capability; composers without
+    // retained state must keep the stop-and-resubmit behaviour.
+    let catalog = ServiceCatalog::synthetic(2, 21);
+    let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(15));
+    for _ in 0..8 {
+        b.node(kbps(2_000.0), kbps(2_000.0));
+    }
+    let mut offers = vec![vec![0, 1]; 6];
+    offers.push(vec![]);
+    offers.push(vec![]);
+    let mut e = Engine::builder(8, catalog, 21)
+        .topology(b.build())
+        .offers(offers)
+        .config(EngineConfig {
+            composer: ComposerKind::Greedy,
+            ..Default::default()
+        })
+        .build();
+    let app = e
+        .submit(ServiceRequest::chain(&[0, 1], 15.0, 6, 7))
+        .unwrap();
+    e.run_for_secs(5.0);
+    let victim = hosts_of(&e, app)[0];
+    e.fail_node(victim);
+    let r = e.report();
+    assert_eq!(r.recompositions, 1);
+    assert_eq!(r.repairs, 0, "greedy has nothing to repair with");
+    assert_eq!(r.composed, 2, "cold recomposition re-ran composition");
+    let new_app = e.app_count() - 1;
+    assert!(!hosts_of(&e, new_app).contains(&victim));
 }
 
 #[test]

@@ -21,8 +21,33 @@ RASC_AUDIT=1 cargo test -q -p rasc-core -p workload
 
 # Microbenchmark smoke run: small fixed-seed iterations; exercises the
 # compose/solver hot paths (including the steady-state zero-allocation
-# assert) without touching the committed BENCH_compose.json.
-cargo run --release -q --bin repro -- bench --quick
+# assert) without touching the committed BENCH_compose.json. The smoke
+# numbers are then diffed against the committed ones: any named hot-path
+# benchmark (compose*/solver*/adapt*) that comes out more than 2x slower
+# prints a WARNING — quick-mode runs are noisy and machines differ, so
+# this is a tripwire for accidental hot-path regressions, not a gate.
+BENCH_OUT=$(mktemp)
+cargo run --release -q --bin repro -- bench --quick | tee "$BENCH_OUT"
+if [ -f BENCH_compose.json ]; then
+  awk '
+    FNR == NR {
+      if ($0 ~ /"name"/) {
+        split($0, q, "\"")                     # q[4] = benchmark name
+        v = $0
+        sub(/.*"ns_per_op": /, "", v)
+        sub(/,.*/, "", v)
+        base[q[4]] = v + 0
+      }
+      next
+    }
+    $3 == "ns/op" && $1 ~ /^(compose|solver|adapt)/ {
+      if (base[$1] > 0 && $2 > 2 * base[$1])
+        printf "verify: WARNING %s regressed %.1fx vs committed (%.0f -> %.0f ns/op)\n", \
+            $1, $2 / base[$1], base[$1], $2
+    }
+  ' BENCH_compose.json "$BENCH_OUT"
+fi
+rm -f "$BENCH_OUT"
 
 # Audited fault-injection soak: 60 seeded runs across fault profiles
 # and composers; exits non-zero on any invariant violation or a
