@@ -359,6 +359,26 @@ fn bench_suite(quick: bool) {
         println!("steady-state allocations per 10 warm solves: {allocs}");
     }
 
+    // --- Data-plane throughput: the units/sec headline ----------------
+    // Engine-level generated-units-per-wall-second across event-queue
+    // backends and transfer batch sizes. These entries are rates
+    // (bigger is better); verify.sh inverts its regression tripwire
+    // for the `units/s` unit.
+    {
+        use rasc_bench::dataplane;
+        let horizon = if quick { 1.0 } else { 4.0 };
+        for &apps in &dataplane::SIZES {
+            for variant in dataplane::VARIANTS {
+                results.push(dataplane::throughput(apps, variant, horizon));
+            }
+        }
+        // Steady-state allocation gate for the batched data plane: after
+        // warm-up the SoA store, batch pool, and wheel slots must recycle.
+        let allocs = dataplane::steady_state_allocs(dataplane::SIZES[1], dataplane::VARIANTS[2]);
+        assert_eq!(allocs, 0, "steady-state data plane must be allocation-free");
+        println!("steady-state allocations per simulated second of batched data plane: {allocs}");
+    }
+
     // --- Sweep wall time: serial vs parallel --------------------------
     // At least two workers, so the desim thread pool is exercised even
     // on single-core CI boxes.
@@ -403,7 +423,7 @@ fn bench_suite(quick: bool) {
         .unwrap();
     println!(
         "\nrollback speedup vs clone baseline: {:.2}x",
-        baseline.ns_per_op / reject.ns_per_op
+        baseline.value / reject.value
     );
     println!(
         "sweep speedup ({} threads): {:.2}x",
@@ -414,7 +434,7 @@ fn bench_suite(quick: bool) {
         results
             .iter()
             .find(|m| m.name == name)
-            .map(|m| m.ns_per_op)
+            .map(|m| m.value)
             .unwrap_or(f64::NAN)
     };
     for size in ["3x8", "5x16", "6x24"] {
@@ -429,14 +449,37 @@ fn bench_suite(quick: bool) {
                 / ns_of(&format!("adapt/rate_bump_repair/{size}")),
         );
     }
+    for &apps in &rasc_bench::dataplane::SIZES {
+        let rate = |variant: &str| ns_of(&format!("dataplane/units_per_sec/{variant}/{apps}"));
+        let heap = rate("heap_perunit");
+        println!(
+            "dataplane units/sec at {apps} apps: heap/per-unit {:.0}, wheel/per-unit {:.0} \
+             ({:.1}x), wheel+batch {:.0} ({:.1}x)",
+            heap,
+            rate("wheel_perunit"),
+            rate("wheel_perunit") / heap,
+            rate("wheel_batch"),
+            rate("wheel_batch") / heap,
+        );
+    }
 
     if quick {
         println!("quick mode: skipping BENCH_compose.json (full runs only)");
         return;
     }
+    // Machine context, so absolute numbers (and especially the
+    // parallel_x2 sweep on boxes where the pool exceeds the cores) are
+    // interpretable when the report is read elsewhere.
     let context = [
         ("threads", threads.to_string()),
-        ("unit", "ns_per_op".to_string()),
+        (
+            "available_parallelism",
+            std::thread::available_parallelism()
+                .map(|n| n.get().to_string())
+                .unwrap_or_else(|_| "unknown".to_string()),
+        ),
+        ("arch", std::env::consts::ARCH.to_string()),
+        ("os", std::env::consts::OS.to_string()),
     ];
     let json = render_json(&context, &results);
     let path = "BENCH_compose.json";
@@ -459,10 +502,11 @@ fn chaos_soak_cmd(quick: bool) {
     };
     let threads = desim::pool::default_threads().max(2);
     println!(
-        "chaos soak: {} seeds x {} fault plans x {} composers = {} audited runs",
+        "chaos soak: {} seeds x {} fault plans x {} composers x {} data planes = {} audited runs",
         cfg.seeds.len(),
         cfg.profiles.len(),
         cfg.composers.len(),
+        cfg.variants.len(),
         cfg.runs()
     );
     let start = Instant::now();
@@ -477,10 +521,12 @@ fn chaos_soak_cmd(quick: bool) {
         if r.violations > 0 {
             failed = true;
             eprintln!(
-                "VIOLATIONS seed {} {} {}: {} ({:?})",
+                "VIOLATIONS seed {} {} {} {:?}/batch{}: {} ({:?})",
                 r.seed,
                 r.profile.label(),
                 r.composer.label(),
+                r.backend,
+                r.batch,
                 r.violations,
                 r.messages
             );
@@ -504,6 +550,21 @@ fn chaos_soak_cmd(quick: bool) {
         );
     } else {
         println!("serial and parallel digests match");
+    }
+    if let Some((a, b)) = parallel.backend_mismatch(cfg.variants.len()) {
+        failed = true;
+        eprintln!(
+            "BACKEND MISMATCH seed {} {} {}: {:?} digest {:016x} != {:?} digest {:016x}",
+            a.seed,
+            a.profile.label(),
+            a.composer.label(),
+            a.backend,
+            a.digest,
+            b.backend,
+            b.digest
+        );
+    } else {
+        println!("per-cell digests are backend-independent at batch 1");
     }
     if failed {
         std::process::exit(1);

@@ -6,7 +6,7 @@
 //! one deterministic matrix digest — bit-identical whether the matrix
 //! is executed serially or on the worker pool.
 
-use desim::SimDuration;
+use desim::{QueueBackend, SimDuration};
 use rasc_core::compose::ComposerKind;
 use rasc_core::engine::{fnv1a64, Engine, EngineConfig, FaultPlan, FaultProfile};
 use rasc_core::model::{ServiceCatalog, ServiceRequest};
@@ -22,6 +22,12 @@ pub struct ChaosConfig {
     pub profiles: Vec<FaultProfile>,
     /// Composition algorithms under test.
     pub composers: Vec<ComposerKind>,
+    /// Data-plane variants: (event-queue backend, transfer batch). The
+    /// matrix crosses these with every (seed, profile, composer) cell.
+    /// All batch-1 variants of a cell must produce *identical* digests —
+    /// the event-queue backend is unobservable — while batched variants
+    /// coarsen timing and are held to the audit invariants only.
+    pub variants: Vec<(QueueBackend, u32)>,
     /// Provider nodes per run (two endpoint nodes are appended).
     pub providers: usize,
     /// Simulated horizon per run, seconds; fault times land inside it.
@@ -34,6 +40,11 @@ impl Default for ChaosConfig {
             seeds: (1..=8).collect(),
             profiles: FaultProfile::ALL.to_vec(),
             composers: ComposerKind::ALL.to_vec(),
+            variants: vec![
+                (QueueBackend::BinaryHeap, 1),
+                (QueueBackend::TimerWheel, 1),
+                (QueueBackend::TimerWheel, 8),
+            ],
             providers: 6,
             horizon_secs: 20.0,
         }
@@ -51,7 +62,7 @@ impl ChaosConfig {
 
     /// Number of runs in the matrix.
     pub fn runs(&self) -> usize {
-        self.seeds.len() * self.profiles.len() * self.composers.len()
+        self.seeds.len() * self.profiles.len() * self.composers.len() * self.variants.len()
     }
 }
 
@@ -64,6 +75,10 @@ pub struct ChaosRun {
     pub profile: FaultProfile,
     /// Composer under test.
     pub composer: ComposerKind,
+    /// Event-queue backend the run's engine scheduled on.
+    pub backend: QueueBackend,
+    /// Units coalesced per link transfer.
+    pub batch: u32,
     /// Deterministic digest of the run's counters and audit trail.
     pub digest: u64,
     /// Total violations (retained + suppressed); 0 in a healthy run.
@@ -90,12 +105,36 @@ impl ChaosSummary {
     pub fn clean(&self) -> bool {
         self.violations == 0
     }
+
+    /// First pair of batch-1 runs of the same (seed, profile, composer)
+    /// cell whose digests differ, if any. The event-queue backend must be
+    /// unobservable at `transfer_batch == 1`: a mismatch means a backend
+    /// reordered same-instant events. `None` is the healthy outcome.
+    pub fn backend_mismatch(&self, variants: usize) -> Option<(&ChaosRun, &ChaosRun)> {
+        // Job order keeps a cell's variants adjacent.
+        for cell in self.runs.chunks(variants) {
+            let mut perunit = cell.iter().filter(|r| r.batch == 1);
+            let Some(first) = perunit.next() else {
+                continue;
+            };
+            if let Some(bad) = perunit.find(|r| r.digest != first.digest) {
+                return Some((first, bad));
+            }
+        }
+        None
+    }
 }
 
 /// Builds the audited engine for one cell: `providers` nodes offering
 /// both services behind modest NICs (so faults bite), two endpoints,
 /// checkpointing auditor, and the generated fault plan.
-fn build_engine(cfg: &ChaosConfig, seed: u64, composer: ComposerKind, plan: FaultPlan) -> Engine {
+fn build_engine(
+    cfg: &ChaosConfig,
+    seed: u64,
+    composer: ComposerKind,
+    variant: (QueueBackend, u32),
+    plan: FaultPlan,
+) -> Engine {
     let nodes = cfg.providers + 2;
     let catalog = ServiceCatalog::synthetic(2, seed);
     let mut b = TopologyBuilder::new().default_latency(SimDuration::from_millis(15));
@@ -110,6 +149,8 @@ fn build_engine(cfg: &ChaosConfig, seed: u64, composer: ComposerKind, plan: Faul
         .offers(offers)
         .config(EngineConfig {
             composer,
+            queue_backend: variant.0,
+            transfer_batch: variant.1,
             audit: true,
             audit_period_secs: 1.0,
             ..Default::default()
@@ -127,10 +168,11 @@ fn run_cell(
     seed: u64,
     profile: FaultProfile,
     composer: ComposerKind,
+    variant: (QueueBackend, u32),
 ) -> ChaosRun {
     let candidates: Vec<usize> = (0..cfg.providers).collect();
     let plan = FaultPlan::generate(profile, seed, &candidates, cfg.horizon_secs);
-    let mut e = build_engine(cfg, seed, composer, plan);
+    let mut e = build_engine(cfg, seed, composer, variant, plan);
     let src = cfg.providers;
     let dst = cfg.providers + 1;
     let _ = e.submit(
@@ -152,6 +194,8 @@ fn run_cell(
         seed,
         profile,
         composer,
+        backend: variant.0,
+        batch: variant.1,
         digest: e.run_digest(),
         violations: audit.violation_count(),
         messages: audit.violations,
@@ -166,14 +210,17 @@ pub fn chaos_soak_threads(cfg: &ChaosConfig, threads: usize) -> ChaosSummary {
     for &seed in &cfg.seeds {
         for &profile in &cfg.profiles {
             for &composer in &cfg.composers {
-                jobs.push((seed, profile, composer));
+                for &variant in &cfg.variants {
+                    jobs.push((seed, profile, composer, variant));
+                }
             }
         }
     }
-    let runs =
-        desim::pool::parallel_map_threads(threads, &jobs, |_, &(seed, profile, composer)| {
-            run_cell(cfg, seed, profile, composer)
-        });
+    let runs = desim::pool::parallel_map_threads(
+        threads,
+        &jobs,
+        |_, &(seed, profile, composer, variant)| run_cell(cfg, seed, profile, composer, variant),
+    );
     let digest = fnv1a64(runs.iter().map(|r| r.digest));
     let violations = runs.iter().map(|r| r.violations).sum();
     ChaosSummary {
@@ -197,6 +244,7 @@ mod tests {
             seeds: vec![4, 5],
             profiles: vec![FaultProfile::Mixed],
             composers: vec![ComposerKind::MinCost, ComposerKind::Greedy],
+            variants: vec![(QueueBackend::BinaryHeap, 1), (QueueBackend::TimerWheel, 1)],
             horizon_secs: 12.0,
             ..Default::default()
         }
@@ -209,7 +257,25 @@ mod tests {
         assert!(a.clean(), "{:#?}", a.runs);
         assert_eq!(a.runs.len(), cfg.runs());
         assert!(a.runs.iter().all(|r| r.checkpoints > 0));
+        if let Some((x, y)) = a.backend_mismatch(cfg.variants.len()) {
+            panic!("backend-dependent digest: {x:#?} vs {y:#?}");
+        }
         let b = chaos_soak_threads(&cfg, 2);
         assert_eq!(a.digest, b.digest, "digest depends on worker count");
+    }
+
+    #[test]
+    fn batched_variant_passes_audit() {
+        let cfg = ChaosConfig {
+            seeds: vec![6],
+            profiles: vec![FaultProfile::Mixed],
+            composers: vec![ComposerKind::MinCost],
+            variants: vec![(QueueBackend::TimerWheel, 8)],
+            horizon_secs: 12.0,
+            ..Default::default()
+        };
+        let s = chaos_soak_threads(&cfg, 1);
+        assert!(s.clean(), "{:#?}", s.runs);
+        assert!(s.runs.iter().all(|r| r.checkpoints > 0));
     }
 }

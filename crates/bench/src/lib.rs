@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod dataplane;
 pub mod figures;
 pub mod instances;
 pub mod microbench;

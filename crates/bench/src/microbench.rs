@@ -39,18 +39,22 @@ pub fn count_allocations<F: FnOnce()>(op: F) -> u64 {
     ALLOC_COUNT.load(Ordering::Relaxed) - before
 }
 
-/// One benchmark's aggregated timing.
+/// One benchmark's aggregated result.
 #[derive(Clone, Debug)]
 pub struct Measurement {
     /// Benchmark id, e.g. `"compose_rollback/mincost/32"`.
     pub name: String,
-    /// Median nanoseconds per operation across samples.
-    pub ns_per_op: f64,
-    /// Fastest sample's ns/op.
-    pub min_ns: f64,
-    /// Slowest sample's ns/op.
-    pub max_ns: f64,
-    /// Iterations per sample (calibrated).
+    /// Unit of `value`: `"ns/op"` for timings (smaller is better) or
+    /// `"units/s"` for throughput (bigger is better). The regression
+    /// tripwire in `scripts/verify.sh` keys its direction off this.
+    pub unit: String,
+    /// Headline value in `unit` (median across samples for timings).
+    pub value: f64,
+    /// Smallest sample's value.
+    pub min: f64,
+    /// Largest sample's value.
+    pub max: f64,
+    /// Iterations per sample (calibrated), or ops per run for rates.
     pub iters: u64,
     /// Number of samples taken.
     pub samples: usize,
@@ -60,11 +64,12 @@ impl Measurement {
     /// Renders a single aligned report line.
     pub fn line(&self) -> String {
         format!(
-            "{:<44} {:>14} ns/op   (min {:>12}, max {:>12}, {} x {} iters)",
+            "{:<44} {:>14} {:<7} (min {:>12}, max {:>12}, {} x {} iters)",
             self.name,
-            fmt_ns(self.ns_per_op),
-            fmt_ns(self.min_ns),
-            fmt_ns(self.max_ns),
+            fmt_ns(self.value),
+            self.unit,
+            fmt_ns(self.min),
+            fmt_ns(self.max),
             self.samples,
             self.iters,
         )
@@ -119,9 +124,10 @@ pub fn bench_config<F: FnMut()>(
     };
     Measurement {
         name: name.to_string(),
-        ns_per_op: median,
-        min_ns: per_sample_ns[0],
-        max_ns: per_sample_ns[samples - 1],
+        unit: "ns/op".to_string(),
+        value: median,
+        min: per_sample_ns[0],
+        max: per_sample_ns[samples - 1],
         iters: iters_per_sample,
         samples,
     }
@@ -132,10 +138,27 @@ pub fn bench_config<F: FnMut()>(
 pub fn record_wall(name: &str, elapsed: Duration) -> Measurement {
     Measurement {
         name: name.to_string(),
-        ns_per_op: elapsed.as_secs_f64() * 1e9,
-        min_ns: elapsed.as_secs_f64() * 1e9,
-        max_ns: elapsed.as_secs_f64() * 1e9,
+        unit: "ns/op".to_string(),
+        value: elapsed.as_secs_f64() * 1e9,
+        min: elapsed.as_secs_f64() * 1e9,
+        max: elapsed.as_secs_f64() * 1e9,
         iters: 1,
+        samples: 1,
+    }
+}
+
+/// Records a throughput: `ops` operations completed in `elapsed` wall
+/// time, reported as `units/s` (bigger is better — the regression
+/// tripwire inverts its comparison for this unit).
+pub fn record_rate(name: &str, ops: u64, elapsed: Duration) -> Measurement {
+    let per_sec = ops as f64 / elapsed.as_secs_f64().max(1e-12);
+    Measurement {
+        name: name.to_string(),
+        unit: "units/s".to_string(),
+        value: per_sec,
+        min: per_sec,
+        max: per_sec,
+        iters: ops,
         samples: 1,
     }
 }
@@ -164,12 +187,13 @@ pub fn render_json(context: &[(&str, String)], results: &[Measurement]) -> Strin
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"name\": {}, \"ns_per_op\": {:.2}, \"min_ns\": {:.2}, \
-             \"max_ns\": {:.2}, \"iters\": {}, \"samples\": {}}}",
+            "\n    {{\"name\": {}, \"unit\": {}, \"value\": {:.2}, \"min\": {:.2}, \
+             \"max\": {:.2}, \"iters\": {}, \"samples\": {}}}",
             json_string(&m.name),
-            m.ns_per_op,
-            m.min_ns,
-            m.max_ns,
+            json_string(&m.unit),
+            m.value,
+            m.min,
+            m.max,
             m.iters,
             m.samples
         ));
@@ -206,8 +230,9 @@ mod tests {
         let m = bench_config("noop-ish", Duration::from_millis(1), 3, || {
             acc = black_box(acc.wrapping_add(1));
         });
-        assert!(m.ns_per_op > 0.0);
-        assert!(m.min_ns <= m.ns_per_op && m.ns_per_op <= m.max_ns);
+        assert!(m.value > 0.0);
+        assert!(m.min <= m.value && m.value <= m.max);
+        assert_eq!(m.unit, "ns/op");
         assert_eq!(m.samples, 3);
         assert!(m.iters >= 1);
     }
@@ -216,15 +241,17 @@ mod tests {
     fn json_is_well_formed_enough() {
         let m = Measurement {
             name: "a\"b".into(),
-            ns_per_op: 12.5,
-            min_ns: 10.0,
-            max_ns: 15.0,
+            unit: "ns/op".into(),
+            value: 12.5,
+            min: 10.0,
+            max: 15.0,
             iters: 100,
             samples: 5,
         };
         let doc = render_json(&[("threads", "4".to_string())], &[m]);
         assert!(doc.contains("\"a\\\"b\""));
-        assert!(doc.contains("\"ns_per_op\": 12.50"));
+        assert!(doc.contains("\"unit\": \"ns/op\""));
+        assert!(doc.contains("\"value\": 12.50"));
         assert!(doc.contains("\"threads\": \"4\""));
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
@@ -234,7 +261,19 @@ mod tests {
     #[test]
     fn record_wall_is_identity() {
         let m = record_wall("sweep", Duration::from_millis(3));
-        assert!((m.ns_per_op - 3e6).abs() < 1.0);
+        assert!((m.value - 3e6).abs() < 1.0);
         assert_eq!(m.iters, 1);
+    }
+
+    #[test]
+    fn record_rate_divides_ops_by_wall() {
+        let m = record_rate("dataplane/x", 5_000, Duration::from_millis(250));
+        assert_eq!(m.unit, "units/s");
+        assert!((m.value - 20_000.0).abs() < 1e-6);
+        assert_eq!(m.iters, 5_000);
+        // The report line carries the unit in the third column, which is
+        // what the verify.sh tripwire keys on.
+        let line = m.line();
+        assert!(line.contains("units/s"), "{line}");
     }
 }

@@ -1,0 +1,139 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed with
+//! per-process random state and burns most of its cycles defending
+//! against adversarial keys. Simulator bookkeeping maps are keyed by
+//! values the simulator itself generates (event sequence numbers,
+//! `(app, substream, layer)` tuples), so neither property is wanted
+//! here: the hot loop pays the SipHash toll on every scheduled event,
+//! and the random key makes iteration order differ between runs.
+//!
+//! [`FxHasher`] is the classic Fx multiply-and-rotate hash (as used by
+//! rustc's `FxHashMap`): one wrapping multiply per word, fully
+//! deterministic, and plenty mixing for counter-like keys once the
+//! golden-ratio multiplier spreads low-order entropy into the high
+//! bits that `HashMap` buckets select on.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 2^64 / φ — the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher for internal keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// Deterministic `BuildHasher` for [`FxHashMap`] / [`FxHashSet`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn counter_keys_spread() {
+        // Consecutive counters must not collide in the high bits HashMap
+        // buckets select on.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish() >> 48);
+        }
+        assert!(seen.len() > 5_000, "high bits collapsed: {}", seen.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_word_padding() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(&[1, 2, 3, 0, 0, 0, 0, 0, 9]);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<(u64, usize)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+    }
+}

@@ -5,7 +5,9 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
 //! * [`EventQueue`] — a cancellable priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking,
+//!   deterministic FIFO tie-breaking; two bit-for-bit equivalent backends
+//!   ([`QueueBackend`]): a reference binary heap and an O(1)-amortized
+//!   hierarchical timer wheel for throughput-bound simulations,
 //! * [`SimRng`] — a small, fully deterministic PRNG (xoshiro256++ seeded via
 //!   SplitMix64) with the distributions the workloads need,
 //! * [`World`] + [`run`] — a simple dispatch loop driving a user-defined
@@ -45,12 +47,15 @@
 #![warn(missing_docs)]
 
 mod driver;
+pub mod hash;
 pub mod pool;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use driver::{run, run_until, StepOutcome, World};
-pub use queue::{EventHandle, EventQueue};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use queue::{EventHandle, EventQueue, QueueBackend};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

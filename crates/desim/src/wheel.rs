@@ -1,0 +1,287 @@
+//! Hierarchical timer wheel: the O(1)-amortized event store behind
+//! [`EventQueue`](crate::EventQueue)'s `TimerWheel` backend.
+//!
+//! The wheel treats an event's firing time as an 11-digit base-64 number
+//! (6 bits per digit covers the full 64-bit nanosecond range). An event
+//! is filed at the *highest digit in which its time differs from the
+//! cursor*: level 0 resolves single nanoseconds relative to the cursor,
+//! level 1 resolves 64 ns spans, and so on — the classic "hashed and
+//! hierarchical timing wheels" layout used by OS timer subsystems.
+//!
+//! * **push** is O(1): one XOR + leading-zeros to find the level, one
+//!   `Vec::push` into the slot.
+//! * **pop** drains a small `ready` heap of events due at the cursor;
+//!   when it empties, the cursor jumps straight to the next occupied
+//!   slot (per-level 64-bit occupancy bitmaps make the search a couple
+//!   of `trailing_zeros` instructions) and that slot cascades down to
+//!   lower levels. Each event cascades at most once per level, so the
+//!   amortized cost per event is bounded by the number of levels.
+//!
+//! Ordering does not depend on slot traversal subtleties: the wheel only
+//! guarantees it hands the globally minimal `(time, seq)` entries to the
+//! `ready` heap, and the heap orders by `(time, seq)` exactly like the
+//! `BinaryHeap` reference backend. Same-instant FIFO therefore falls out
+//! of the unique, monotonically assigned `seq` — bit-for-bit identical
+//! pop order across backends.
+//!
+//! Scheduling *at or before* the cursor is allowed (the driver clamps
+//! delivery time monotonically); such entries go straight to `ready`.
+
+use crate::queue::Entry;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bits per wheel digit; each level has `2^SLOT_BITS` slots.
+const SLOT_BITS: usize = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels needed so 11 six-bit digits cover all 64 bits of `SimTime`.
+const LEVELS: usize = u64::BITS.div_ceil(SLOT_BITS as u32) as usize;
+
+/// Hierarchical timer wheel holding `Entry<E>` values.
+pub(crate) struct Wheel<E> {
+    /// `LEVELS × SLOTS` buckets, flattened. Buckets do not hoard
+    /// capacity: a drained bucket's vector moves to `spare`, and a cold
+    /// bucket's first push takes a warm vector back out. Capacity thus
+    /// follows the cursor instead of sticking to each of the 704 slots —
+    /// high-level slots are first touched as late as minutes into a run
+    /// (level 5 completes a rotation every ~68 simulated seconds), and
+    /// per-slot warm-up would trickle allocations for that entire span.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Recycled (empty, capacity-bearing) slot vectors.
+    spare: Vec<Vec<Entry<E>>>,
+    /// One occupancy bit per slot, per level.
+    occ: [u64; LEVELS],
+    /// Current position in time, in ticks (nanoseconds). Every entry in
+    /// the wheel proper fires strictly after `cur`; entries at or before
+    /// `cur` live in `ready`.
+    cur: u64,
+    /// Entries due now (or scheduled into the past), ordered `(time, seq)`.
+    ready: BinaryHeap<Reverse<Entry<E>>>,
+    /// Total entries held (wheel + ready).
+    len: usize,
+}
+
+impl<E> Wheel<E> {
+    pub(crate) fn new() -> Self {
+        Wheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            occ: [0; LEVELS],
+            cur: 0,
+            ready: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, entry: Entry<E>) {
+        self.len += 1;
+        if entry.time.as_nanos() <= self.cur {
+            self.ready.push(Reverse(entry));
+        } else {
+            self.place(entry);
+        }
+    }
+
+    /// Files an entry known to fire strictly after the cursor.
+    #[inline]
+    fn place(&mut self, entry: Entry<E>) {
+        let tick = entry.time.as_nanos();
+        debug_assert!(tick > self.cur);
+        let differing = tick ^ self.cur;
+        let level = (63 - differing.leading_zeros() as usize) / SLOT_BITS;
+        let slot = ((tick >> (level * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+        let idx = level * SLOTS + slot;
+        if self.slots[idx].capacity() == 0 {
+            if let Some(buf) = self.spare.pop() {
+                self.slots[idx] = buf;
+            }
+        }
+        self.slots[idx].push(entry);
+        self.occ[level] |= 1 << slot;
+    }
+
+    /// Removes and returns the minimal `(time, seq)` entry.
+    pub(crate) fn pop_min(&mut self) -> Option<Entry<E>> {
+        while self.ready.is_empty() {
+            if !self.advance() {
+                return None;
+            }
+        }
+        self.len -= 1;
+        self.ready.pop().map(|Reverse(e)| e)
+    }
+
+    /// Time and seq of the minimal entry without removing it.
+    pub(crate) fn peek_min(&mut self) -> Option<(SimTime, u64)> {
+        while self.ready.is_empty() {
+            if !self.advance() {
+                return None;
+            }
+        }
+        self.ready.peek().map(|Reverse(e)| (e.time, e.seq))
+    }
+
+    /// Jumps the cursor to the next occupied slot and cascades it into
+    /// `ready` / lower levels. Returns `false` when the wheel is empty.
+    ///
+    /// Scanning levels bottom-up is sound because any candidate at level
+    /// `k` fires strictly later than every possible candidate below it:
+    /// a level-`k` slot differs from the cursor in digit `k`, so its
+    /// times exceed `cur | (64^k − 1)`, the upper bound of levels `< k`.
+    fn advance(&mut self) -> bool {
+        for level in 0..LEVELS {
+            let shift = level * SLOT_BITS;
+            let digit = ((self.cur >> shift) & (SLOTS as u64 - 1)) as u32;
+            // Only strictly later digits can be occupied at this level:
+            // an equal digit would mean the entry differed from the
+            // cursor in a lower digit (or not at all) when it was filed.
+            let mask = self.occ[level] & (u64::MAX).checked_shl(digit + 1).unwrap_or(0);
+            if mask == 0 {
+                continue;
+            }
+            let slot = mask.trailing_zeros() as usize;
+            // Jump: digits above `level` keep, digit at `level` = slot,
+            // digits below clear — the earliest instant this slot spans.
+            let above = (shift + SLOT_BITS) as u32;
+            let high = self.cur & u64::MAX.checked_shl(above).unwrap_or(0);
+            self.cur = high | ((slot as u64) << shift);
+            self.occ[level] &= !(1u64 << slot);
+            let idx = level * SLOTS + slot;
+            let mut batch = std::mem::take(&mut self.slots[idx]);
+            for entry in batch.drain(..) {
+                if entry.time.as_nanos() <= self.cur {
+                    self.ready.push(Reverse(entry));
+                } else {
+                    self.place(entry);
+                }
+            }
+            // The drained vector joins the spare pool (capacity intact)
+            // rather than sticking to this slot; the next occupied slot
+            // anywhere in the wheel reuses it.
+            self.spare.push(batch);
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(ns: u64, seq: u64) -> Entry<u64> {
+        Entry {
+            time: SimTime::from_nanos(ns),
+            seq,
+            payload: seq,
+        }
+    }
+
+    #[test]
+    fn level_math_covers_u64() {
+        assert_eq!(LEVELS, 11);
+        // Highest representable tick files at the top level without
+        // panicking and comes back out.
+        let mut w = Wheel::new();
+        w.push(entry(u64::MAX, 0));
+        w.push(entry(1, 1));
+        assert_eq!(w.pop_min().unwrap().seq, 1);
+        assert_eq!(w.pop_min().unwrap().time, SimTime::MAX);
+        assert!(w.pop_min().is_none());
+    }
+
+    #[test]
+    fn pops_sorted_across_levels() {
+        let mut w = Wheel::new();
+        let times = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 30,
+            (1 << 30) + 1,
+            1 << 45,
+            u64::MAX - 1,
+        ];
+        for (seq, &ns) in times.iter().enumerate() {
+            w.push(entry(ns, seq as u64));
+        }
+        let mut last = 0u64;
+        let mut n = 0;
+        while let Some(e) = w.pop_min() {
+            assert!(e.time.as_nanos() >= last);
+            last = e.time.as_nanos();
+            n += 1;
+        }
+        assert_eq!(n, times.len());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn same_instant_pops_in_seq_order() {
+        let mut w = Wheel::new();
+        for seq in 0..50u64 {
+            w.push(entry(1_000_000, seq));
+        }
+        for seq in 0..50u64 {
+            assert_eq!(w.pop_min().unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn past_pushes_surface_before_future_work() {
+        let mut w: Wheel<u64> = Wheel::new();
+        w.push(entry(100, 0));
+        assert_eq!(w.pop_min().unwrap().seq, 0); // cursor now at 100
+        w.push(entry(5, 1)); // into the past
+        w.push(entry(200, 2));
+        assert_eq!(w.peek_min(), Some((SimTime::from_nanos(5), 1)));
+        assert_eq!(w.pop_min().unwrap().seq, 1);
+        assert_eq!(w.pop_min().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        let mut w = Wheel::new();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..200 {
+            for _ in 0..10 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                w.push(entry(x % 10_000_000, seq));
+                seq += 1;
+            }
+            for _ in 0..(round % 7) {
+                if let Some(e) = w.pop_min() {
+                    popped.push((e.time.as_nanos(), e.seq));
+                }
+            }
+        }
+        while let Some(e) = w.pop_min() {
+            popped.push((e.time.as_nanos(), e.seq));
+        }
+        assert_eq!(popped.len(), seq as usize);
+        // Popping never goes backwards in (time, seq) *given the cursor
+        // semantics*: once the cursor passes t, later pushes at ≤ t pop
+        // immediately — so only check monotonicity between pops with no
+        // intervening pushes is insufficient; instead check the multiset
+        // is complete and each pop was minimal at its moment, which the
+        // queue-level equivalence suite covers against the heap backend.
+        let mut seqs: Vec<u64> = popped.iter().map(|&(_, s)| s).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), seq as usize, "lost or duplicated entries");
+    }
+}

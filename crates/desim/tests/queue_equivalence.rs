@@ -1,0 +1,178 @@
+//! Backend equivalence: the timer-wheel `EventQueue` backend must be
+//! bit-for-bit interchangeable with the `BinaryHeap` reference.
+//!
+//! Every test drives the *same* seeded schedule/cancel/pop script into
+//! one queue per backend and asserts the observable behaviour — pop
+//! sequence (times and payloads), cancel return values, peeks, and
+//! counters — is identical. `SimRng` drives the scripts, so any failure
+//! reproduces from the case number in the assertion message.
+
+use desim::{EventQueue, QueueBackend, SimRng, SimTime};
+
+/// One scripted operation, pre-drawn so both backends replay the exact
+/// same sequence.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Schedule at the given time (µs).
+    Schedule(u64),
+    /// Pop the front event.
+    Pop,
+    /// Cancel the n-th handle issued so far (wrapping), which may
+    /// target live, fired, or already-cancelled events alike.
+    CancelNth(usize),
+    /// Peek the front time (compacts cancelled heads on both).
+    Peek,
+}
+
+fn random_script(rng: &mut SimRng, len: usize, time_span_us: u64) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.range_u64(0, 8) {
+            // Biased toward schedules so queues grow deep enough to
+            // exercise multi-level wheel cascades.
+            0..=3 => Op::Schedule(rng.range_u64(0, time_span_us)),
+            4..=5 => Op::Pop,
+            6 => Op::CancelNth(rng.range_usize(0, 256)),
+            _ => Op::Peek,
+        })
+        .collect()
+}
+
+/// Replays `script` on the given backend, returning a full transcript of
+/// everything observable.
+fn replay(backend: QueueBackend, script: &[Op]) -> Vec<String> {
+    let mut q = EventQueue::with_backend(backend);
+    let mut handles = Vec::new();
+    let mut payload = 0u64;
+    let mut transcript = Vec::new();
+    for op in script {
+        match *op {
+            Op::Schedule(us) => {
+                handles.push(q.schedule(SimTime::from_micros(us), payload));
+                payload += 1;
+            }
+            Op::Pop => transcript.push(format!("pop {:?}", q.pop())),
+            Op::CancelNth(i) => {
+                if !handles.is_empty() {
+                    let h = handles[i % handles.len()];
+                    transcript.push(format!("cancel {}", q.cancel(h)));
+                }
+            }
+            Op::Peek => transcript.push(format!("peek {:?}", q.peek_time())),
+        }
+    }
+    // Drain whatever is left, then record the final counters.
+    while let Some(ev) = q.pop() {
+        transcript.push(format!("drain {ev:?}"));
+    }
+    transcript.push(format!(
+        "end sched={} fired={} raw={} pending={} cancelled={}",
+        q.total_scheduled(),
+        q.total_fired(),
+        q.raw_len(),
+        q.pending_len(),
+        q.cancelled_backlog()
+    ));
+    transcript
+}
+
+/// 256 seeded random scripts: identical transcripts on both backends.
+#[test]
+fn random_scripts_pop_bit_identically() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::new(0x57EE1 ^ case);
+        let span = [100u64, 10_000, 10_000_000][case as usize % 3];
+        let script = random_script(&mut rng, 400, span);
+        let heap = replay(QueueBackend::BinaryHeap, &script);
+        let wheel = replay(QueueBackend::TimerWheel, &script);
+        assert_eq!(heap, wheel, "case {case} (span {span} µs) diverged");
+    }
+}
+
+/// Heavy same-timestamp contention: FIFO order must match exactly even
+/// when thousands of events share a handful of instants.
+#[test]
+fn same_timestamp_fifo_matches() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0xF1F0 ^ case);
+        let script: Vec<Op> = (0..2000)
+            .map(|_| match rng.range_u64(0, 4) {
+                // Only 4 distinct instants → massive FIFO ties.
+                0..=2 => Op::Schedule(rng.range_u64(0, 4) * 50),
+                _ => Op::Pop,
+            })
+            .collect();
+        let heap = replay(QueueBackend::BinaryHeap, &script);
+        let wheel = replay(QueueBackend::TimerWheel, &script);
+        assert_eq!(heap, wheel, "case {case} diverged");
+    }
+}
+
+/// Cancel-after-fire must be rejected identically: both backends refuse
+/// to cancel a handle whose event already popped, and neither leaks
+/// tombstones for the attempt.
+#[test]
+fn cancel_after_fire_rejected_on_both() {
+    for backend in [QueueBackend::BinaryHeap, QueueBackend::TimerWheel] {
+        let mut q = EventQueue::with_backend(backend);
+        let handles: Vec<_> = (0..500)
+            .map(|i| q.schedule(SimTime::from_micros(i % 7), i))
+            .collect();
+        // Fire half the events.
+        for _ in 0..250 {
+            q.pop().unwrap();
+        }
+        let mut accepted = 0;
+        for h in &handles {
+            if q.cancel(*h) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 250, "{backend:?}: only live handles cancellable");
+        assert_eq!(q.pop(), None, "{backend:?}: all remaining were cancelled");
+        assert_eq!(q.cancelled_backlog(), 0, "{backend:?}: tombstones leaked");
+        assert_eq!(q.raw_len(), 0, "{backend:?}");
+    }
+}
+
+/// Past-time scheduling (the driver clamps delivery, the queue does
+/// not): both backends surface a newly scheduled earlier event before
+/// previously scheduled later ones.
+#[test]
+fn past_scheduling_matches() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::new(0x9A57 ^ case);
+        // Alternate far-future schedules, pops (advancing the wheel
+        // cursor), and schedules into the now-past.
+        let script: Vec<Op> = (0..600)
+            .map(|i| match i % 5 {
+                0 => Op::Schedule(rng.range_u64(500_000, 1_000_000)),
+                1 => Op::Schedule(rng.range_u64(0, 1_000)),
+                2 | 3 => Op::Pop,
+                _ => Op::Peek,
+            })
+            .collect();
+        let heap = replay(QueueBackend::BinaryHeap, &script);
+        let wheel = replay(QueueBackend::TimerWheel, &script);
+        assert_eq!(heap, wheel, "case {case} diverged");
+    }
+}
+
+/// Sparse far-apart timestamps force events into high wheel levels and
+/// multi-step cascades; order must still match the reference.
+#[test]
+fn sparse_wide_range_timestamps_match() {
+    for case in 0..32u64 {
+        let mut rng = SimRng::new(0x1DE5 ^ case);
+        let script: Vec<Op> = (0..300)
+            .map(|_| match rng.range_u64(0, 3) {
+                // Up to ~3.2 years of simulated nanoseconds: exercises
+                // levels 0 through 9.
+                0 | 1 => Op::Schedule(rng.range_u64(0, 100_000_000_000)),
+                _ => Op::Pop,
+            })
+            .collect();
+        let heap = replay(QueueBackend::BinaryHeap, &script);
+        let wheel = replay(QueueBackend::TimerWheel, &script);
+        assert_eq!(heap, wheel, "case {case} diverged");
+    }
+}

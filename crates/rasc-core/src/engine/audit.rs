@@ -177,8 +177,11 @@ impl Auditor {
                     node.sched.len()
                 ));
             }
-            if node.running.is_some() {
-                self.violation(format!("liveness: node {v} still busy after drain"));
+            if !node.running.is_empty() {
+                self.violation(format!(
+                    "liveness: node {v} still busy with {} units after drain",
+                    node.running.len()
+                ));
             }
         }
         self.check_conservation(st, true);
@@ -203,7 +206,7 @@ impl Auditor {
             .sum();
         let drops = st.report.total_drops();
         let queued: u64 = st.nodes.iter().map(|n| n.sched.len() as u64).sum();
-        let running: u64 = st.nodes.iter().filter(|n| n.running.is_some()).count() as u64;
+        let running: u64 = st.nodes.iter().map(|n| n.running.len() as u64).sum();
         let accounted = delivered + drops + st.in_flight_net + queued + running;
         if accounted != st.report.generated {
             self.violation(format!(
@@ -211,6 +214,20 @@ impl Auditor {
                  + in-flight {} + queued {queued} + running {running}",
                 if at_teardown { " (teardown)" } else { "" },
                 st.report.generated,
+                st.in_flight_net,
+            ));
+        }
+        // Store accounting: the SoA slab's live-unit count must equal the
+        // units still outstanding (in flight + queued + on CPU). A live
+        // unit beyond that is a storage leak (a drop path forgot to
+        // release); one short means a double release.
+        let live = st.store.live() as u64;
+        let outstanding = st.in_flight_net + queued + running;
+        if live != outstanding {
+            self.violation(format!(
+                "store{}: {live} live units != in-flight {} + queued {queued} \
+                 + running {running}",
+                if at_teardown { " (teardown)" } else { "" },
                 st.in_flight_net,
             ));
         }

@@ -22,6 +22,7 @@
 
 mod audit;
 mod fault;
+mod store;
 mod trace;
 mod wrr;
 
@@ -36,13 +37,16 @@ use crate::metrics::{DropCause, RunReport, SubstreamTracker};
 use crate::model::{AppId, ExecutionGraph, ServiceCatalog, ServiceRequest};
 use crate::view::SystemView;
 use audit::Auditor;
-use desim::{run, run_until, EventQueue, SimDuration, SimRng, SimTime, StepOutcome, World};
+use desim::{
+    run, run_until, EventQueue, FxHashMap, QueueBackend, SimDuration, SimRng, SimTime, StepOutcome,
+    World,
+};
 use mincostflow::Algorithm;
 use monitor::{Ewma, OutcomeWindow, RateEstimator, ThroughputMeter};
 use overlay::Overlay;
 use sched::{make_scheduler, Job, JobMeta, Policy, Scheduler};
 use simnet::{mbps, Network, NetworkConfig, NodeId, NodeSpec, SendOutcome, Topology};
-use std::collections::HashMap;
+use store::{BatchPool, BatchRef, UnitRef, UnitStore};
 
 /// Tunables for an engine run (defaults follow the paper's setup).
 #[derive(Clone, Debug)]
@@ -70,6 +74,21 @@ pub struct EngineConfig {
     pub measure_window_secs: f64,
     /// Run length of the split-dispatch striping (see `ChunkedWrr`).
     pub split_chunk: u32,
+    /// Event-queue backend for the simulation core. The two backends are
+    /// bit-for-bit interchangeable (see [`QueueBackend`]); the hierarchical
+    /// timer wheel turns the heap's O(log n) schedule/pop into amortized
+    /// O(1) and is the default. `BinaryHeap` remains available as the
+    /// reference to benchmark against.
+    pub queue_backend: QueueBackend,
+    /// Data units coalesced into one link transfer and one CPU burst (NIC
+    /// interrupt coalescing). `1` reproduces the per-unit data plane
+    /// exactly — every batch carries a single unit, and event counts, RNG
+    /// draws, and drop decisions are unchanged. Larger values amortize
+    /// event-queue and transfer overhead across a burst at the cost of
+    /// coarsening intra-burst timing to the batch boundary; data-unit
+    /// conservation stays exact because every ledger counts units, never
+    /// batches.
+    pub transfer_batch: u32,
     /// Bursty cross traffic on designated nodes (the PlanetLab
     /// "state of the nodes" the paper averaged over). `None` disables.
     pub background: Option<BackgroundTraffic>,
@@ -113,6 +132,8 @@ impl Default for EngineConfig {
             admission_headroom: 0.75,
             measure_window_secs: 4.0,
             split_chunk: 16,
+            queue_backend: QueueBackend::TimerWheel,
+            transfer_batch: 1,
             background: None,
             cpu_cores: None,
             audit: audit_from_env(),
@@ -257,7 +278,7 @@ impl EngineBuilder {
         let nodes = (0..n)
             .map(|v| NodeState {
                 sched: make_scheduler(config.policy, config.queue_capacity),
-                running: None,
+                running: Vec::new(),
                 outcomes: OutcomeWindow::new(config.monitor_window),
                 in_meter: ThroughputMeter::new(meter_window),
                 out_meter: ThroughputMeter::new(meter_window),
@@ -267,11 +288,11 @@ impl EngineBuilder {
                 bg_load: None,
                 cpu_meter: ThroughputMeter::new(meter_window),
                 committed_cpu: 0.0,
-                comps: HashMap::new(),
+                comps: FxHashMap::default(),
                 exec_rng: rng.fork(v as u64),
             })
             .collect();
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_backend(config.queue_backend);
         let auditor = config.audit.then(|| Box::new(Auditor::new()));
         let audit_period = SimDuration::from_secs_f64(config.audit_period_secs.max(0.05));
         let mut state = EngineState {
@@ -286,6 +307,10 @@ impl EngineBuilder {
             apps: Vec::new(),
             report: RunReport::default(),
             trace: None,
+            store: UnitStore::new(),
+            batches: BatchPool::new(),
+            burst_scratch: Vec::new(),
+            arrive_scratch: Vec::new(),
             in_flight_net: 0,
             control_drops_out: 0,
             control_drops_in: 0,
@@ -314,19 +339,6 @@ impl EngineBuilder {
     }
 }
 
-/// A data unit in flight between/inside nodes.
-#[derive(Clone, Debug)]
-struct Unit {
-    app: AppId,
-    substream: usize,
-    /// Index of the stage about to process the unit; `== stage count`
-    /// means the unit is addressed to the destination.
-    layer: usize,
-    seq: u64,
-    created: SimTime,
-    bits: u64,
-}
-
 /// Key identifying a component instance on a node.
 type CompKey = (AppId, usize, usize); // (app, substream, layer)
 
@@ -344,16 +356,14 @@ struct CompState {
     downstream: Option<ChunkedWrr>,
 }
 
-struct Running {
-    unit: Unit,
-    comp: CompKey,
-    exec: SimDuration,
-}
-
 /// Per-node runtime state.
 struct NodeState {
-    sched: Box<dyn Scheduler<Unit>>,
-    running: Option<Running>,
+    sched: Box<dyn Scheduler<UnitRef>>,
+    /// The units occupying the CPU (with their drawn execution times),
+    /// oldest first; empty = idle. One `CpuDone` event covers the whole
+    /// burst. The vector is pooled — taken, drained, and handed back —
+    /// so its capacity survives across bursts.
+    running: Vec<(UnitRef, SimDuration)>,
     /// Drop-ratio feedback window (§3.2 statistic (3)).
     outcomes: OutcomeWindow,
     /// Measured inbound traffic (bits/s), per §3.2's monitoring.
@@ -377,7 +387,7 @@ struct NodeState {
     cpu_meter: ThroughputMeter,
     /// Committed CPU of everything composed onto this node (cores).
     committed_cpu: f64,
-    comps: HashMap<CompKey, CompState>,
+    comps: FxHashMap<CompKey, CompState>,
     exec_rng: SimRng,
 }
 
@@ -406,9 +416,11 @@ enum Event {
     AppStop(AppId),
     /// Periodic source emission for one substream.
     SourceEmit { app: AppId, substream: usize },
-    /// A data unit fully received at a node.
-    UnitArrive { node: NodeId, unit: Unit },
-    /// A node's CPU finished the unit it was processing.
+    /// A batched link transfer fully received at a node. Every transfer
+    /// is a batch; with `transfer_batch == 1` each batch carries exactly
+    /// one unit and this degenerates to the per-unit data plane.
+    BatchArrive { node: NodeId, batch: BatchRef },
+    /// A node's CPU finished the burst it was processing.
     CpuDone { node: NodeId },
     /// A flaky node's cross traffic toggles ON/OFF.
     BgPhase { node: NodeId, on: bool },
@@ -432,10 +444,25 @@ struct EngineState {
     apps: Vec<AppState>,
     report: RunReport,
     trace: Option<Trace>,
+    /// SoA slab holding every live data unit; events, scheduler queues,
+    /// and CPU slots hand off 4-byte [`UnitRef`]s instead of moving the
+    /// unit struct around.
+    store: UnitStore,
+    /// Recycled buffers backing batched link transfers.
+    batches: BatchPool,
+    /// Reusable buffer for CPU burst dispatch (capacity warms to
+    /// `transfer_batch`; keeps the steady-state loop allocation-free).
+    burst_scratch: Vec<Job<UnitRef>>,
+    /// Reusable per-batch component counters for deadline staggering:
+    /// how many units of each component have already been seen in the
+    /// batch being processed. One entry per distinct component per batch
+    /// (usually exactly one), pooled for the zero-alloc steady state.
+    arrive_scratch: Vec<(CompKey, u64)>,
     /// Data units currently traversing the network (or same-node IPC):
-    /// incremented per scheduled `UnitArrive`, decremented when it fires.
-    /// Part of the auditor's conservation equation, but maintained
-    /// unconditionally — it is two integer ops per unit.
+    /// credited by unit count when a `BatchArrive` is scheduled, debited
+    /// (via [`EngineState::debit_in_flight`]) when it fires. Part of the
+    /// auditor's conservation equation, but maintained unconditionally —
+    /// it is two integer ops per batch.
     in_flight_net: u64,
     /// Control-plane messages lost to NIC overflow, by charged side.
     /// Keeps NIC drop counters attributable: every `stats(v).drops_*`
@@ -722,7 +749,7 @@ impl World for EngineState {
             Event::AppStart(app) => self.handle_app_start(now, app, q),
             Event::AppStop(app) => self.handle_app_stop(app),
             Event::SourceEmit { app, substream } => self.handle_source_emit(now, app, substream, q),
-            Event::UnitArrive { node, unit } => self.handle_unit_arrive(now, node, unit, q),
+            Event::BatchArrive { node, batch } => self.handle_batch_arrive(now, node, batch, q),
             Event::CpuDone { node } => self.handle_cpu_done(now, node, q),
             Event::BgPhase { node, on } => self.handle_bg_phase(now, node, on, q),
             Event::BgPulse { node } => self.handle_bg_pulse(now, node, q),
@@ -1065,155 +1092,326 @@ impl EngineState {
         if !self.apps[app].active {
             return;
         }
-        let (source, unit_bits, period, target, seq) = {
-            let a = &mut self.apps[app];
-            let seq = a.next_seq[substream];
-            a.next_seq[substream] += 1;
-            (
-                a.req.source,
-                a.req.unit_bits,
-                a.source_period[substream],
-                a.source_wrr[substream].pick(),
-                seq,
-            )
+        let burst = self.config.transfer_batch.max(1);
+        let (source, unit_bits, period) = {
+            let a = &self.apps[app];
+            (a.req.source, a.req.unit_bits, a.source_period[substream])
         };
-        self.report.generated += 1;
-        let unit = Unit {
-            app,
-            substream,
-            layer: 0,
-            seq,
-            created: now,
-            bits: unit_bits,
-        };
-        self.send_unit(now, source, target, unit, q);
-        q.schedule(now + period, Event::SourceEmit { app, substream });
+        self.report.generated += burst as u64;
+        // Emit the whole burst now, grouped into per-target batches by
+        // walking the WRR's runs (O(runs), not O(units)); one emission
+        // event then covers `burst` periods. Consecutive runs toward the
+        // same target coalesce into one batch — the striping run length
+        // only matters where the stream actually splits, and fragmenting
+        // a single-target burst would multiply transfer events and stack
+        // sub-batches behind each other's CPU bursts. With `burst == 1`
+        // this is exactly the per-unit source: one pick, one single-unit
+        // batch.
+        let mut left = burst;
+        let mut open: Option<(NodeId, BatchRef)> = None;
+        while left > 0 {
+            let (target, n) = self.apps[app].source_wrr[substream].pick_run(left);
+            let batch = match open {
+                Some((t, b)) if t == target => b,
+                Some((t, b)) => {
+                    self.send_batch(now, source, t, b, q);
+                    let b = self.batches.take();
+                    open = Some((target, b));
+                    b
+                }
+                None => {
+                    let b = self.batches.take();
+                    open = Some((target, b));
+                    b
+                }
+            };
+            for _ in 0..n {
+                let seq = self.apps[app].next_seq[substream];
+                self.apps[app].next_seq[substream] += 1;
+                let u = self.store.alloc(app, substream, 0, seq, now, unit_bits);
+                self.batches.push(batch, u);
+            }
+            left -= n;
+        }
+        if let Some((t, b)) = open {
+            self.send_batch(now, source, t, b, q);
+        }
+        q.schedule(
+            now + period.saturating_mul(burst as u64),
+            Event::SourceEmit { app, substream },
+        );
     }
 
-    /// Transfers a unit over the network, charging drops to the
-    /// overflowing NIC's node. Transfers between two components on the
-    /// same node never touch the network: the paper models same-node
-    /// edges as infinite-capacity (§3.5), and a real node hands the data
-    /// unit between components in memory.
-    fn send_unit(
+    /// Transfers a batch over the network as one coalesced link event,
+    /// charging drops to the overflowing NIC's node. A dropped transfer
+    /// loses every unit in the batch — the all-or-nothing loss a
+    /// coalesced NIC ring slot exhibits. Transfers between two components
+    /// on the same node never touch the network: the paper models
+    /// same-node edges as infinite-capacity (§3.5), and a real node hands
+    /// the data unit between components in memory.
+    fn send_batch(
         &mut self,
         now: SimTime,
         from: NodeId,
         to: NodeId,
-        unit: Unit,
+        batch: BatchRef,
         q: &mut EventQueue<Event>,
     ) {
+        let count = self.batches.len(batch) as u64;
+        debug_assert!(count > 0, "empty batch sent");
         if !self.nodes[to].alive {
-            self.report.count_drop(DropCause::NodeFailed);
+            self.drop_batch(batch, DropCause::NodeFailed, None);
             return;
         }
         if from == to {
             let ipc = SimDuration::from_micros(200);
-            self.in_flight_net += 1;
-            q.schedule(now + ipc, Event::UnitArrive { node: to, unit });
+            self.in_flight_net += count;
+            q.schedule(now + ipc, Event::BatchArrive { node: to, batch });
             return;
         }
-        let bits = unit.bits;
+        let bits: u64 = self
+            .batches
+            .units(batch)
+            .iter()
+            .map(|&u| self.store.bits(u))
+            .sum();
         match self.net.send(now, from, to, bits) {
             SendOutcome::Delivered(t) => {
                 self.record_traffic(now, from, to, bits, true);
-                self.in_flight_net += 1;
-                q.schedule(t, Event::UnitArrive { node: to, unit });
+                self.in_flight_net += count;
+                q.schedule(t, Event::BatchArrive { node: to, batch });
             }
             SendOutcome::Dropped(simnet::DropReason::SenderOverflow) => {
-                self.report.count_drop(DropCause::NetSender);
-                self.nodes[from].outcomes.record(true);
+                self.drop_batch(batch, DropCause::NetSender, Some(from));
             }
             SendOutcome::Dropped(simnet::DropReason::ReceiverOverflow) => {
                 self.record_traffic(now, from, to, bits, false);
-                self.report.count_drop(DropCause::NetReceiver);
-                self.nodes[to].outcomes.record(true);
+                self.drop_batch(batch, DropCause::NetReceiver, Some(to));
             }
         }
     }
 
-    fn handle_unit_arrive(
+    /// Drops every unit in a still-attached batch, charging `cause` (and
+    /// the drop-ratio feedback window of `blame`, when one node is at
+    /// fault) once per unit, then releases the units' storage.
+    fn drop_batch(&mut self, batch: BatchRef, cause: DropCause, blame: Option<NodeId>) {
+        for i in 0..self.batches.len(batch) {
+            let u = self.batches.units(batch)[i];
+            self.report.count_drop(cause);
+            if let Some(v) = blame {
+                self.nodes[v].outcomes.record(true);
+            }
+            self.store.release(u);
+        }
+        self.batches.discard(batch);
+    }
+
+    /// Removes `n` units from the in-network ledger. A debit exceeding
+    /// the ledger means an arrival fired twice or a send was never
+    /// credited; `saturating_sub` would silently mask that bookkeeping
+    /// bug, so debug builds assert and audited runs record the violation
+    /// before clamping.
+    fn debit_in_flight(&mut self, n: u64) {
+        debug_assert!(
+            self.in_flight_net >= n,
+            "in_flight_net underflow: debit {n} exceeds ledger {}",
+            self.in_flight_net
+        );
+        if let Some(rest) = self.in_flight_net.checked_sub(n) {
+            self.in_flight_net = rest;
+        } else {
+            if let Some(aud) = self.auditor.as_mut() {
+                aud.violation(format!(
+                    "conservation: in_flight_net underflow (debit {n} exceeds ledger {})",
+                    self.in_flight_net
+                ));
+            }
+            self.in_flight_net = 0;
+        }
+    }
+
+    fn handle_batch_arrive(
         &mut self,
         now: SimTime,
         node: NodeId,
-        unit: Unit,
+        batch: BatchRef,
         q: &mut EventQueue<Event>,
     ) {
-        // The unit left the network whatever happens to it next.
-        self.in_flight_net = self.in_flight_net.saturating_sub(1);
+        let buf = self.batches.detach(batch);
+        // The units left the network whatever happens to them next.
+        self.debit_in_flight(buf.len() as u64);
         if !self.nodes[node].alive {
-            self.report.count_drop(DropCause::NodeFailed);
-            return;
-        }
-        let stages = self.apps[unit.app].stage_count[unit.substream];
-        if unit.layer >= stages {
-            // Destination delivery (§4.2 metrics).
-            debug_assert_eq!(node, self.apps[unit.app].req.destination);
-            if let Some(aud) = self.auditor.as_mut() {
-                let bound = self.apps[unit.app].next_seq[unit.substream];
-                aud.record_delivery(unit.app, unit.substream, unit.seq, bound);
+            for &u in &buf {
+                self.report.count_drop(DropCause::NodeFailed);
+                self.store.release(u);
             }
-            self.apps[unit.app].trackers[unit.substream].on_delivery(unit.seq, unit.created, now);
-            self.nodes[node].outcomes.record(false);
+            self.batches.recycle(batch, buf);
             return;
         }
-        let key: CompKey = (unit.app, unit.substream, unit.layer);
-        if !self.nodes[node].comps.contains_key(&key) {
-            // The application was torn down while this unit was in
-            // flight; it dies quietly at the now-vacant node.
-            self.report.count_drop(DropCause::Terminated);
-            return;
-        }
-        let (deadline, exec_est) = {
-            let comp = self.nodes[node]
-                .comps
-                .get_mut(&key)
-                .expect("component checked above");
-            comp.arrivals.record(now);
-            // Deadline: expected arrival of the next unit (§3.4), from
-            // the measured period once enough samples exist.
-            let period = if comp.arrivals.len() >= 4 {
-                comp.arrivals
-                    .period()
-                    .unwrap_or_else(|| SimDuration::from_secs_f64(1.0 / comp.nominal_rate))
-            } else {
-                SimDuration::from_secs_f64(1.0 / comp.nominal_rate)
+        // Process the batch as *runs* of consecutive same-component units
+        // (a batch is usually one run): one map lookup, one estimator
+        // update block, and one period computation cover the whole run.
+        // With `transfer_batch == 1` every run is a single unit and this
+        // is exactly the per-unit arrival path.
+        let mut seen = std::mem::take(&mut self.arrive_scratch);
+        seen.clear();
+        let mut enqueued_any = false;
+        let mut i = 0;
+        while i < buf.len() {
+            let app = self.store.app(buf[i]);
+            let substream = self.store.substream(buf[i]);
+            let layer = self.store.layer(buf[i]);
+            let key: CompKey = (app, substream, layer);
+            let mut j = i + 1;
+            while j < buf.len()
+                && self.store.app(buf[j]) == app
+                && self.store.substream(buf[j]) == substream
+                && self.store.layer(buf[j]) == layer
+            {
+                j += 1;
+            }
+            let run = j - i;
+            // How many units of this component preceded this run in the
+            // batch (non-zero only when runs of one component interleave).
+            let base = match seen.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => {
+                    let b = *n;
+                    *n += run as u64;
+                    b
+                }
+                None => {
+                    seen.push((key, run as u64));
+                    0
+                }
             };
-            let est = comp.exec_est.value_or(comp.nominal_exec_secs);
-            (now + period, SimDuration::from_secs_f64(est))
-        };
-        let job = Job {
-            meta: JobMeta {
-                arrival: now,
-                deadline,
-                exec_time: exec_est,
-            },
-            payload: unit,
-        };
-        if self.nodes[node].sched.enqueue(job).is_err() {
-            self.report.count_drop(DropCause::QueueFull);
-            self.nodes[node].outcomes.record(true);
-            return;
+            let stages = self.apps[app].stage_count[substream];
+            if layer >= stages {
+                // Destination delivery (§4.2 metrics).
+                debug_assert_eq!(node, self.apps[app].req.destination);
+                for &u in &buf[i..j] {
+                    let seq = self.store.seq(u);
+                    if let Some(aud) = self.auditor.as_mut() {
+                        let bound = self.apps[app].next_seq[substream];
+                        aud.record_delivery(app, substream, seq, bound);
+                    }
+                    let created = self.store.created(u);
+                    self.apps[app].trackers[substream].on_delivery(seq, created, now);
+                    self.nodes[node].outcomes.record(false);
+                    self.store.release(u);
+                }
+                i = j;
+                continue;
+            }
+            if !self.nodes[node].comps.contains_key(&key) {
+                // The application was torn down while these units were in
+                // flight; they die quietly at the now-vacant node.
+                for &u in &buf[i..j] {
+                    self.report.count_drop(DropCause::Terminated);
+                    self.store.release(u);
+                }
+                i = j;
+                continue;
+            }
+            let (period, exec_est) = {
+                let comp = self.nodes[node]
+                    .comps
+                    .get_mut(&key)
+                    .expect("component checked above");
+                for _ in 0..run {
+                    comp.arrivals.record(now);
+                }
+                // Deadline basis: expected arrival of the next unit
+                // (§3.4), from the measured period once enough samples
+                // exist.
+                let period = if comp.arrivals.len() >= 4 {
+                    comp.arrivals
+                        .period()
+                        .unwrap_or_else(|| SimDuration::from_secs_f64(1.0 / comp.nominal_rate))
+                } else {
+                    SimDuration::from_secs_f64(1.0 / comp.nominal_rate)
+                };
+                let est = comp.exec_est.value_or(comp.nominal_exec_secs);
+                (period, SimDuration::from_secs_f64(est))
+            };
+            for (off, &u) in buf[i..j].iter().enumerate() {
+                // A batched transfer coalesces units whose uncoalesced
+                // stream would have arrived one period apart; each unit
+                // keeps the deadline of its *nominal* arrival slot — the
+                // j-th same-component unit of this batch is due j periods
+                // later — so coalescing never manufactures laxity drops.
+                // At `transfer_batch == 1` the ordinal is always 0 and
+                // this is the per-unit deadline `arr + p_ci` (§3.4)
+                // exactly.
+                let ordinal = base + off as u64;
+                let job = Job {
+                    meta: JobMeta {
+                        arrival: now,
+                        deadline: now + period.saturating_mul(ordinal + 1),
+                        exec_time: exec_est,
+                    },
+                    payload: u,
+                };
+                if self.nodes[node].sched.enqueue(job).is_err() {
+                    self.report.count_drop(DropCause::QueueFull);
+                    self.nodes[node].outcomes.record(true);
+                    self.store.release(u);
+                    continue;
+                }
+                enqueued_any = true;
+            }
+            i = j;
         }
-        if self.nodes[node].running.is_none() {
+        self.arrive_scratch = seen;
+        self.batches.recycle(batch, buf);
+        if enqueued_any && self.nodes[node].running.is_empty() {
             self.start_cpu(now, node, q);
         }
     }
 
-    /// Dispatches the next unit onto the node's CPU (§3.4).
+    /// Dispatches up to `transfer_batch` units onto the node's CPU
+    /// (§3.4) as one burst covered by a single `CpuDone` event. Each
+    /// unit still gets its own execution-time draw, so per-unit timing
+    /// statistics are preserved; with `transfer_batch == 1` this is
+    /// exactly the per-unit dispatch.
     fn start_cpu(&mut self, now: SimTime, node: NodeId, q: &mut EventQueue<Event>) {
-        let outcome = self.nodes[node].sched.dispatch(now);
-        for _dropped in &outcome.dropped {
+        debug_assert!(
+            self.nodes[node].running.is_empty(),
+            "start_cpu on a busy node"
+        );
+        let burst = self.config.transfer_batch.max(1) as usize;
+        let mut chosen = std::mem::take(&mut self.burst_scratch);
+        chosen.clear();
+        let dropped = self.nodes[node]
+            .sched
+            .dispatch_burst(now, burst, &mut chosen);
+        for job in dropped {
             self.report.count_drop(DropCause::Laxity);
             self.nodes[node].outcomes.record(true);
+            self.store.release(job.payload);
         }
-        if let Some(job) = outcome.chosen {
-            let key: CompKey = (job.payload.app, job.payload.substream, job.payload.layer);
-            let base = self.nodes[node]
-                .comps
-                .get(&key)
-                .map(|c| c.nominal_exec_secs)
-                .unwrap_or(0.002);
+        let mut total_ns = 0u64;
+        // Consecutive chosen units usually share a component; cache the
+        // last (key, base) pair to skip the map lookup on runs.
+        let mut last: Option<(CompKey, f64)> = None;
+        for job in chosen.drain(..) {
+            let u = job.payload;
+            let key: CompKey = (
+                self.store.app(u),
+                self.store.substream(u),
+                self.store.layer(u),
+            );
+            let base = match last {
+                Some((k, b)) if k == key => b,
+                _ => {
+                    let b = self.nodes[node]
+                        .comps
+                        .get(&key)
+                        .map(|c| c.nominal_exec_secs)
+                        .unwrap_or(0.002);
+                    last = Some((key, b));
+                    b
+                }
+            };
             let noise = if self.config.exec_noise_sigma > 0.0 {
                 self.nodes[node]
                     .exec_rng
@@ -1223,12 +1421,15 @@ impl EngineState {
                 1.0
             };
             let exec = SimDuration::from_secs_f64(base * noise);
-            self.nodes[node].running = Some(Running {
-                unit: job.payload,
-                comp: key,
-                exec,
-            });
-            q.schedule(now + exec, Event::CpuDone { node });
+            total_ns += exec.as_nanos();
+            self.nodes[node].running.push((u, exec));
+        }
+        self.burst_scratch = chosen;
+        if !self.nodes[node].running.is_empty() {
+            q.schedule(
+                now + SimDuration::from_nanos(total_ns),
+                Event::CpuDone { node },
+            );
         }
     }
 
@@ -1246,19 +1447,26 @@ impl EngineState {
         // Overlay + registry route around the corpse.
         self.overlay.remove(v);
         self.dir.handle_failure(&self.overlay, v);
-        // Everything on the node dies with it — including the unit that
-        // occupied its CPU, which must be counted like the queued ones or
-        // the data-unit conservation ledger leaks one unit per crash of a
-        // busy node (its CpuDone event still fires, finding nothing).
-        let node = &mut self.nodes[v];
-        node.alive = false;
-        node.bg_load = None;
-        let mut lost = node.sched.len() as u64;
-        if node.running.take().is_some() {
+        // Everything on the node dies with it — including the burst that
+        // occupied its CPU, which must be counted like the queued units or
+        // the data-unit conservation ledger leaks per crash of a busy
+        // node (its CpuDone event still fires, finding nothing). The
+        // queue is drained rather than discarded so every casualty's
+        // storage goes back to the unit store.
+        self.nodes[v].alive = false;
+        self.nodes[v].bg_load = None;
+        let queued = self.nodes[v].sched.drain();
+        let busy = std::mem::take(&mut self.nodes[v].running);
+        self.nodes[v].comps.clear();
+        let mut lost = 0u64;
+        for job in queued {
+            self.store.release(job.payload);
             lost += 1;
         }
-        node.sched = make_scheduler(self.config.policy, self.config.queue_capacity);
-        node.comps.clear();
+        for (u, _) in busy {
+            self.store.release(u);
+            lost += 1;
+        }
         for _ in 0..lost {
             self.report.count_drop(DropCause::NodeFailed);
         }
@@ -1587,45 +1795,70 @@ impl EngineState {
     }
 
     fn handle_cpu_done(&mut self, now: SimTime, node: NodeId, q: &mut EventQueue<Event>) {
-        let Some(Running { unit, comp, exec }) = self.nodes[node].running.take() else {
-            // The node failed while this unit occupied its CPU.
+        let finished = std::mem::take(&mut self.nodes[node].running);
+        if finished.is_empty() {
+            // The node failed while this burst occupied its CPU.
             return;
-        };
-        self.nodes[node].outcomes.record(false);
-        self.nodes[node].cpu_meter.record(now, exec.as_nanos());
-        // Update the running-time estimate and pick the next hop.
-        let next_layer = unit.layer + 1;
-        let (stages, destination) = {
-            let a = &self.apps[unit.app];
-            (a.stage_count[unit.substream], a.req.destination)
-        };
-        let out_gain = self.apps[unit.app].gains[unit.substream][next_layer];
-        let out_bits = (self.apps[unit.app].req.unit_bits as f64 * out_gain).round() as u64;
-        let target = match self.nodes[node].comps.get_mut(&comp) {
-            None => {
-                // Torn down while the unit occupied the CPU.
-                self.report.count_drop(DropCause::Terminated);
-                self.start_cpu(now, node, q);
-                return;
-            }
-            Some(c) => {
-                c.exec_est.record(exec.as_secs_f64());
-                if next_layer >= stages {
-                    destination
-                } else {
-                    c.downstream
-                        .as_mut()
-                        .expect("non-final component lacks downstream")
-                        .pick()
+        }
+        // Outputs are grouped into per-target batches: consecutive units
+        // bound for the same next hop share one link transfer. With a
+        // burst of one this degenerates to exactly one single-unit send.
+        let mut open: Option<(NodeId, BatchRef)> = None;
+        for &(u, exec) in &finished {
+            self.nodes[node].outcomes.record(false);
+            self.nodes[node].cpu_meter.record(now, exec.as_nanos());
+            // Update the running-time estimate and pick the next hop.
+            let app = self.store.app(u);
+            let substream = self.store.substream(u);
+            let layer = self.store.layer(u);
+            let next_layer = layer + 1;
+            let (stages, destination) = {
+                let a = &self.apps[app];
+                (a.stage_count[substream], a.req.destination)
+            };
+            let out_gain = self.apps[app].gains[substream][next_layer];
+            let out_bits = (self.apps[app].req.unit_bits as f64 * out_gain).round() as u64;
+            let comp: CompKey = (app, substream, layer);
+            let target = match self.nodes[node].comps.get_mut(&comp) {
+                None => {
+                    // Torn down while the unit occupied the CPU.
+                    self.report.count_drop(DropCause::Terminated);
+                    self.store.release(u);
+                    continue;
+                }
+                Some(c) => {
+                    c.exec_est.record(exec.as_secs_f64());
+                    if next_layer >= stages {
+                        destination
+                    } else {
+                        c.downstream
+                            .as_mut()
+                            .expect("non-final component lacks downstream")
+                            .pick()
+                    }
+                }
+            };
+            self.store.advance(u, next_layer, out_bits.max(1));
+            match open {
+                Some((t, b)) if t == target => self.batches.push(b, u),
+                _ => {
+                    if let Some((t, b)) = open {
+                        self.send_batch(now, node, t, b, q);
+                    }
+                    let b = self.batches.take();
+                    self.batches.push(b, u);
+                    open = Some((target, b));
                 }
             }
-        };
-        let out_unit = Unit {
-            layer: next_layer,
-            bits: out_bits.max(1),
-            ..unit
-        };
-        self.send_unit(now, node, target, out_unit, q);
+        }
+        if let Some((t, b)) = open {
+            self.send_batch(now, node, t, b, q);
+        }
+        // Hand the (now consumed) burst vector back so its capacity is
+        // reused by the next dispatch.
+        let mut finished = finished;
+        finished.clear();
+        self.nodes[node].running = finished;
         self.start_cpu(now, node, q);
     }
 }

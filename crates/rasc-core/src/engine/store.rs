@@ -1,0 +1,261 @@
+//! SoA storage for data units in flight through the engine.
+//!
+//! The per-unit data plane used to move a 48-byte `Unit` struct by value
+//! through every event, scheduler queue, and CPU slot. At dataplane
+//! rates that is the dominant memcpy traffic, and the `Clone` in each
+//! hand-off is what kept the steady-state loop allocating. This module
+//! replaces the moves with *index-based hand-off*:
+//!
+//! * [`UnitStore`] — a slab of parallel arrays (struct-of-arrays), one
+//!   element per live unit, addressed by a dense `u32` [`UnitRef`].
+//!   Events, scheduler jobs, and CPU slots carry the 4-byte ref; the
+//!   unit's fields live in exactly one place. A free list recycles
+//!   slots, so after warm-up the store never allocates.
+//! * [`BatchPool`] — recycled `Vec<UnitRef>` buffers backing batched
+//!   link transfers ([`BatchRef`]). `detach`/`recycle` move the buffer
+//!   out for iteration and hand it back cleared but with capacity
+//!   intact — zero-alloc in the steady state.
+//!
+//! Allocation discipline is enforced by the bench harness's
+//! counting-allocator gate over a warmed engine loop.
+
+use crate::model::AppId;
+use desim::SimTime;
+
+/// Dense index of a live unit in the [`UnitStore`].
+pub(super) type UnitRef = u32;
+
+/// Index of an in-flight batch buffer in the [`BatchPool`].
+pub(super) type BatchRef = u32;
+
+/// Struct-of-arrays slab of live data units.
+pub(super) struct UnitStore {
+    app: Vec<u32>,
+    substream: Vec<u32>,
+    /// Index of the stage about to process the unit; `== stage count`
+    /// means the unit is addressed to the destination.
+    layer: Vec<u32>,
+    seq: Vec<u64>,
+    created: Vec<SimTime>,
+    bits: Vec<u64>,
+    free: Vec<UnitRef>,
+    live: usize,
+}
+
+impl UnitStore {
+    pub(super) fn new() -> Self {
+        UnitStore {
+            app: Vec::new(),
+            substream: Vec::new(),
+            layer: Vec::new(),
+            seq: Vec::new(),
+            created: Vec::new(),
+            bits: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Admits a unit, reusing a freed slot when one exists.
+    pub(super) fn alloc(
+        &mut self,
+        app: AppId,
+        substream: usize,
+        layer: usize,
+        seq: u64,
+        created: SimTime,
+        bits: u64,
+    ) -> UnitRef {
+        self.live += 1;
+        if let Some(u) = self.free.pop() {
+            let i = u as usize;
+            self.app[i] = app as u32;
+            self.substream[i] = substream as u32;
+            self.layer[i] = layer as u32;
+            self.seq[i] = seq;
+            self.created[i] = created;
+            self.bits[i] = bits;
+            u
+        } else {
+            let u = self.app.len() as UnitRef;
+            self.app.push(app as u32);
+            self.substream.push(substream as u32);
+            self.layer.push(layer as u32);
+            self.seq.push(seq);
+            self.created.push(created);
+            self.bits.push(bits);
+            u
+        }
+    }
+
+    /// Returns a unit's slot to the free list. Every drop or delivery
+    /// path must release exactly once; the auditor's store-accounting
+    /// check catches leaks.
+    pub(super) fn release(&mut self, u: UnitRef) {
+        debug_assert!(self.live > 0, "release with no live units");
+        self.live -= 1;
+        self.free.push(u);
+    }
+
+    /// Advances a unit to the next stage with its new payload size.
+    pub(super) fn advance(&mut self, u: UnitRef, next_layer: usize, bits: u64) {
+        self.layer[u as usize] = next_layer as u32;
+        self.bits[u as usize] = bits;
+    }
+
+    /// Units currently alive (allocated, not yet released).
+    pub(super) fn live(&self) -> usize {
+        self.live
+    }
+
+    pub(super) fn app(&self, u: UnitRef) -> AppId {
+        self.app[u as usize] as AppId
+    }
+
+    pub(super) fn substream(&self, u: UnitRef) -> usize {
+        self.substream[u as usize] as usize
+    }
+
+    pub(super) fn layer(&self, u: UnitRef) -> usize {
+        self.layer[u as usize] as usize
+    }
+
+    pub(super) fn seq(&self, u: UnitRef) -> u64 {
+        self.seq[u as usize]
+    }
+
+    pub(super) fn created(&self, u: UnitRef) -> SimTime {
+        self.created[u as usize]
+    }
+
+    pub(super) fn bits(&self, u: UnitRef) -> u64 {
+        self.bits[u as usize]
+    }
+}
+
+/// Pool of recycled `Vec<UnitRef>` buffers for batched transfers.
+///
+/// A buffer is `take`n and filled by the sender, travels through the
+/// event queue as a [`BatchRef`], is `detach`ed by the receiver for
+/// iteration, and `recycle`d (cleared, capacity kept) when done.
+pub(super) struct BatchPool {
+    bufs: Vec<Vec<UnitRef>>,
+    free: Vec<BatchRef>,
+}
+
+impl BatchPool {
+    pub(super) fn new() -> Self {
+        BatchPool {
+            bufs: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Claims an empty buffer.
+    pub(super) fn take(&mut self) -> BatchRef {
+        if let Some(b) = self.free.pop() {
+            b
+        } else {
+            self.bufs.push(Vec::new());
+            (self.bufs.len() - 1) as BatchRef
+        }
+    }
+
+    /// Appends a unit to a claimed buffer.
+    pub(super) fn push(&mut self, b: BatchRef, u: UnitRef) {
+        self.bufs[b as usize].push(u);
+    }
+
+    pub(super) fn len(&self, b: BatchRef) -> usize {
+        self.bufs[b as usize].len()
+    }
+
+    pub(super) fn units(&self, b: BatchRef) -> &[UnitRef] {
+        &self.bufs[b as usize]
+    }
+
+    /// Moves the buffer out for iteration while `self` is re-borrowed.
+    /// Pair with [`recycle`](Self::recycle) to return its capacity.
+    pub(super) fn detach(&mut self, b: BatchRef) -> Vec<UnitRef> {
+        std::mem::take(&mut self.bufs[b as usize])
+    }
+
+    /// Returns a detached buffer, cleared but with capacity intact.
+    pub(super) fn recycle(&mut self, b: BatchRef, mut buf: Vec<UnitRef>) {
+        buf.clear();
+        self.bufs[b as usize] = buf;
+        self.free.push(b);
+    }
+
+    /// Releases a still-attached buffer (e.g. after a whole-batch drop).
+    pub(super) fn discard(&mut self, b: BatchRef) {
+        self.bufs[b as usize].clear();
+        self.free.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_slots() {
+        let mut s = UnitStore::new();
+        let a = s.alloc(1, 2, 3, 40, SimTime::from_millis(5), 8192);
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.app(a), 1);
+        assert_eq!(s.substream(a), 2);
+        assert_eq!(s.layer(a), 3);
+        assert_eq!(s.seq(a), 40);
+        assert_eq!(s.created(a), SimTime::from_millis(5));
+        assert_eq!(s.bits(a), 8192);
+        s.release(a);
+        assert_eq!(s.live(), 0);
+        // The freed slot is reused, fully overwritten.
+        let b = s.alloc(9, 0, 0, 7, SimTime::ZERO, 16);
+        assert_eq!(b, a);
+        assert_eq!(s.app(b), 9);
+        assert_eq!(s.seq(b), 7);
+        assert_eq!(s.bits(b), 16);
+    }
+
+    #[test]
+    fn advance_moves_layer_and_bits() {
+        let mut s = UnitStore::new();
+        let u = s.alloc(0, 0, 0, 0, SimTime::ZERO, 100);
+        s.advance(u, 2, 250);
+        assert_eq!(s.layer(u), 2);
+        assert_eq!(s.bits(u), 250);
+        assert_eq!(s.seq(u), 0, "advance only touches layer and bits");
+    }
+
+    #[test]
+    fn batch_pool_recycles_capacity() {
+        let mut p = BatchPool::new();
+        let b = p.take();
+        p.push(b, 1);
+        p.push(b, 2);
+        assert_eq!(p.len(b), 2);
+        assert_eq!(p.units(b), &[1, 2]);
+        let buf = p.detach(b);
+        assert_eq!(buf, vec![1, 2]);
+        let cap = buf.capacity();
+        p.recycle(b, buf);
+        // The same buffer (same id, same capacity) comes back.
+        let b2 = p.take();
+        assert_eq!(b2, b);
+        assert_eq!(p.len(b2), 0);
+        assert!(p.bufs[b2 as usize].capacity() >= cap);
+    }
+
+    #[test]
+    fn discard_frees_without_detach() {
+        let mut p = BatchPool::new();
+        let b = p.take();
+        p.push(b, 7);
+        p.discard(b);
+        let b2 = p.take();
+        assert_eq!(b2, b);
+        assert_eq!(p.len(b2), 0);
+    }
+}

@@ -95,6 +95,23 @@ impl ChunkedWrr {
         self.current
     }
 
+    /// Consumes up to `max ≥ 1` picks from the current run in one step,
+    /// returning the target and how many picks were taken (bounded by
+    /// the run's remainder, so consecutive calls walk run boundaries
+    /// exactly like repeated [`pick`](Self::pick) would). Batched
+    /// transfers use this to group a burst by target in O(runs) instead
+    /// of O(units).
+    pub fn pick_run(&mut self, max: u32) -> (NodeId, u32) {
+        debug_assert!(max >= 1, "pick_run needs at least one pick");
+        if self.left == 0 {
+            self.current = self.wrr.pick();
+            self.left = self.chunk;
+        }
+        let take = max.min(self.left);
+        self.left -= take;
+        (self.current, take)
+    }
+
     /// The underlying targets and weights.
     pub fn targets(&self) -> &[(NodeId, f64)] {
         self.wrr.targets()
@@ -191,5 +208,35 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_chunk_rejected() {
         ChunkedWrr::new(Wrr::new(vec![(0, 1.0)]), 0);
+    }
+
+    #[test]
+    fn pick_run_walks_the_same_sequence_as_pick() {
+        let targets = vec![(0, 3.0), (1, 2.0), (2, 1.0)];
+        let mut unit = ChunkedWrr::new(Wrr::new(targets.clone()), 4);
+        let singles: Vec<NodeId> = (0..240).map(|_| unit.pick()).collect();
+        for max in [1u32, 2, 3, 4, 7] {
+            let mut runs = ChunkedWrr::new(Wrr::new(targets.clone()), 4);
+            let mut expanded = Vec::new();
+            while expanded.len() < singles.len() {
+                let want = max.min((singles.len() - expanded.len()) as u32);
+                let (target, n) = runs.pick_run(want);
+                assert!(n >= 1 && n <= want);
+                expanded.extend((0..n).map(|_| target));
+            }
+            assert_eq!(expanded, singles, "max {max}");
+        }
+    }
+
+    #[test]
+    fn pick_run_never_crosses_a_run_boundary() {
+        let mut c = ChunkedWrr::new(Wrr::new(vec![(0, 1.0), (1, 1.0)]), 3);
+        // First call takes at most the full chunk even when asked for more.
+        let (first, n) = c.pick_run(10);
+        assert_eq!(n, 3);
+        // The next run must come from the other target (1:1 weights).
+        let (second, m) = c.pick_run(10);
+        assert_eq!(m, 3);
+        assert_ne!(first, second);
     }
 }

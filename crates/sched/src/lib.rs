@@ -77,6 +77,34 @@ pub trait Scheduler<T> {
     /// no longer meet their deadlines (policy-dependent).
     fn dispatch(&mut self, now: SimTime) -> DispatchOutcome<T>;
 
+    /// Dispatches up to `max` units at the *same* instant `now`,
+    /// appending the chosen jobs to `out` in dispatch order and returning
+    /// the deadline-expired drops. Equivalent to calling [`dispatch`]
+    /// `max` times (so `max == 1` is exactly one dispatch), but policies
+    /// may override it to scan for hopeless units once per burst instead
+    /// of once per pick — laxity at a fixed `now` does not change between
+    /// picks, so the repeated scan is pure overhead on the batched data
+    /// plane's CPU bursts.
+    ///
+    /// [`dispatch`]: Scheduler::dispatch
+    fn dispatch_burst(&mut self, now: SimTime, max: usize, out: &mut Vec<Job<T>>) -> Vec<Job<T>> {
+        let mut dropped = Vec::new();
+        for _ in 0..max {
+            let o = self.dispatch(now);
+            dropped.extend(o.dropped);
+            match o.chosen {
+                Some(j) => out.push(j),
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    /// Empties the queue, returning every queued job (in unspecified
+    /// order). Used on node crash: the engine must reclaim the units'
+    /// storage before discarding the queue, or the unit ledger leaks.
+    fn drain(&mut self) -> Vec<Job<T>>;
+
     /// Number of queued units.
     fn len(&self) -> usize;
 
@@ -112,6 +140,21 @@ mod tests {
                 exec_time: SimDuration::from_millis(exec_ms),
             },
             payload: id,
+        }
+    }
+
+    #[test]
+    fn drain_empties_and_returns_every_job() {
+        for policy in [Policy::Llf, Policy::Edf, Policy::Fifo] {
+            let mut s = make_scheduler::<u32>(policy, 8);
+            for id in 0..5 {
+                s.enqueue(job(id, 0, 100, 10)).unwrap();
+            }
+            let mut drained: Vec<u32> = s.drain().into_iter().map(|j| j.payload).collect();
+            drained.sort_unstable();
+            assert_eq!(drained, vec![0, 1, 2, 3, 4], "{policy:?}");
+            assert!(s.is_empty(), "{policy:?}");
+            assert!(s.dispatch(SimTime::ZERO).chosen.is_none(), "{policy:?}");
         }
     }
 

@@ -101,6 +101,23 @@ impl<T> Scheduler<T> for LlfScheduler<T> {
         DispatchOutcome { dropped, chosen }
     }
 
+    fn dispatch_burst(&mut self, now: SimTime, max: usize, out: &mut Vec<Job<T>>) -> Vec<Job<T>> {
+        // One hopeless scan covers the whole burst: laxity at a fixed
+        // `now` is fixed, so `drop_hopeless` is idempotent between picks.
+        let dropped = self.bag.drop_hopeless(now);
+        for _ in 0..max {
+            match self.bag.take_min_by(|j| j.meta.laxity(now)) {
+                Some(j) => out.push(j),
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    fn drain(&mut self) -> Vec<Job<T>> {
+        std::mem::take(&mut self.bag.items)
+    }
+
     fn len(&self) -> usize {
         self.bag.items.len()
     }
@@ -134,6 +151,21 @@ impl<T> Scheduler<T> for EdfScheduler<T> {
         let dropped = self.bag.drop_hopeless(now);
         let chosen = self.bag.take_min_by(|j| j.meta.deadline.as_secs_f64());
         DispatchOutcome { dropped, chosen }
+    }
+
+    fn dispatch_burst(&mut self, now: SimTime, max: usize, out: &mut Vec<Job<T>>) -> Vec<Job<T>> {
+        let dropped = self.bag.drop_hopeless(now);
+        for _ in 0..max {
+            match self.bag.take_min_by(|j| j.meta.deadline.as_secs_f64()) {
+                Some(j) => out.push(j),
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    fn drain(&mut self) -> Vec<Job<T>> {
+        std::mem::take(&mut self.bag.items)
     }
 
     fn len(&self) -> usize {
@@ -179,6 +211,10 @@ impl<T> Scheduler<T> for FifoScheduler<T> {
             dropped: Vec::new(),
             chosen: self.queue.pop_front(),
         }
+    }
+
+    fn drain(&mut self) -> Vec<Job<T>> {
+        self.queue.drain(..).collect()
     }
 
     fn len(&self) -> usize {

@@ -19,39 +19,57 @@ cargo clippy --all-targets -- -D warnings
 # checks on.
 RASC_AUDIT=1 cargo test -q -p rasc-core -p workload
 
+# Event-queue backend equivalence: the timer-wheel backend must pop
+# bit-for-bit the same (time, seq) order as the binary-heap reference
+# across seeded randomized schedules. Part of the workspace suite, but
+# named here so a backend change can never slip past verification.
+cargo test -q -p desim --test queue_equivalence
+
 # Microbenchmark smoke run: small fixed-seed iterations; exercises the
-# compose/solver hot paths (including the steady-state zero-allocation
-# assert) without touching the committed BENCH_compose.json. The smoke
-# numbers are then diffed against the committed ones: any named hot-path
-# benchmark (compose*/solver*/adapt*) that comes out more than 2x slower
-# prints a WARNING — quick-mode runs are noisy and machines differ, so
-# this is a tripwire for accidental hot-path regressions, not a gate.
+# compose/solver hot paths and the data plane (including both
+# steady-state zero-allocation asserts) without touching the committed
+# BENCH_compose.json. The smoke numbers are then diffed against the
+# committed ones, direction keyed off each line's unit token: a
+# ns/op hot-path benchmark (compose*/solver*/adapt*) more than 2x
+# slower, or a units/s dataplane/* rate at less than half the committed
+# throughput, prints a WARNING — quick-mode runs are noisy and machines
+# differ, so this is a tripwire for accidental regressions, not a gate.
 BENCH_OUT=$(mktemp)
 cargo run --release -q --bin repro -- bench --quick | tee "$BENCH_OUT"
 if [ -f BENCH_compose.json ]; then
   awk '
     FNR == NR {
       if ($0 ~ /"name"/) {
-        split($0, q, "\"")                     # q[4] = benchmark name
+        split($0, q, "\"")          # q[4] = name, q[8] = unit
         v = $0
-        sub(/.*"ns_per_op": /, "", v)
+        sub(/.*"value": /, "", v)
         sub(/,.*/, "", v)
         base[q[4]] = v + 0
+        unit[q[4]] = q[8]
       }
       next
     }
     $3 == "ns/op" && $1 ~ /^(compose|solver|adapt)/ {
-      if (base[$1] > 0 && $2 > 2 * base[$1])
+      if (unit[$1] == "ns/op" && base[$1] > 0 && $2 > 2 * base[$1])
         printf "verify: WARNING %s regressed %.1fx vs committed (%.0f -> %.0f ns/op)\n", \
+            $1, $2 / base[$1], base[$1], $2
+    }
+    $3 == "units/s" && $1 ~ /^dataplane\// {
+      if (unit[$1] == "units/s" && base[$1] > 0 && $2 < base[$1] / 2)
+        printf "verify: WARNING %s slowed to %.2fx of committed (%.0f -> %.0f units/s)\n", \
             $1, $2 / base[$1], base[$1], $2
     }
   ' BENCH_compose.json "$BENCH_OUT"
 fi
 rm -f "$BENCH_OUT"
 
-# Audited fault-injection soak: 60 seeded runs across fault profiles
-# and composers; exits non-zero on any invariant violation or a
-# serial-vs-parallel digest mismatch. Takes well under 30 s.
-cargo run --release -q --bin repro -- chaos --quick
+# Audited fault-injection soak: 180 seeded runs across fault profiles,
+# composers, and data-plane variants (binary-heap and timer-wheel
+# backends, per-unit and batched transfers); exits non-zero on any
+# invariant violation, a serial-vs-parallel digest mismatch, or any
+# per-cell digest that differs between batch-1 backends. RASC_AUDIT=1
+# is redundant belt-and-braces (the soak forces auditing on) but keeps
+# the env-driven default covered too. Takes well under 30 s.
+RASC_AUDIT=1 cargo run --release -q --bin repro -- chaos --quick
 
 echo "verify: all checks passed"
