@@ -121,7 +121,8 @@ fn bench_suite(quick: bool) {
     use mincostflow::{FlowNetwork, FlowSolver};
     use rasc_bench::instances::{compose_setup, compose_setup_saturated, layered, layered_into};
     use rasc_bench::microbench::{
-        bench, bench_config, black_box, count_allocations, record_wall, render_json, Measurement,
+        bench, bench_config, black_box, count_allocations, record_ratio, record_wall, render_json,
+        Measurement,
     };
     use std::time::{Duration, Instant};
 
@@ -242,16 +243,26 @@ fn bench_suite(quick: bool) {
     // `crash_worst` kills the most-loaded column, which on these
     // cost-concentrated instances carries an outsized share of the flow
     // (57% at 6x24) and is repair's worst case.
+    // The `basis_*` twins run the same events against a retained
+    // network-simplex basis (`RepairTier::WarmBasis`, the top of the
+    // repair ladder): localized re-pricing plus primal re-pivoting
+    // instead of the phased primal–dual pass, against the same cold
+    // baseline. The victim columns are chosen once (by the phased
+    // solution's load order) so all three entries kill the same host.
     for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
-        use rasc_bench::instances::layered_host_columns;
+        use rasc_bench::instances::{layered_host_columns, victims_by_load};
         let (mut net0, src, dst, target) = layered(layers, width, 42);
         let mut solver0 = FlowSolver::new(mincostflow::Algorithm::DijkstraSsp);
         solver0
             .solve(&mut net0, src, dst, target)
             .expect("feasible instance");
+        let (mut net_b0, _, _, _) = layered(layers, width, 42);
+        let mut solver_b0 = FlowSolver::new(mincostflow::Algorithm::NetworkSimplex);
+        solver_b0
+            .solve(&mut net_b0, src, dst, target)
+            .expect("feasible instance");
         let columns = layered_host_columns(&net0, width);
-        let mut order: Vec<usize> = (0..width).collect();
-        order.sort_by_key(|&k| columns[k].iter().map(|&e| net0.flow_on(e)).sum::<i64>());
+        let order = victims_by_load(&net0, &columns);
         for (tag, k) in [
             ("crash", order[width / 2]),
             ("crash_worst", order[width - 1]),
@@ -276,6 +287,18 @@ fn bench_suite(quick: bool) {
                     let mut solver = solver0.clone();
                     let out = solver.repair_deletions(&mut net, victim);
                     debug_assert!(out.complete());
+                    black_box(out.routed);
+                },
+            ));
+            results.push(time(
+                quick,
+                &format!("adapt/basis_{tag}_repair/{layers}x{width}"),
+                || {
+                    let mut net = net_b0.clone();
+                    let mut solver = solver_b0.clone();
+                    let out = solver.repair_deletions(&mut net, victim);
+                    debug_assert!(out.complete());
+                    debug_assert_eq!(out.tier, mincostflow::RepairTier::WarmBasis);
                     black_box(out.routed);
                 },
             ));
@@ -318,6 +341,18 @@ fn bench_suite(quick: bool) {
         ));
         results.push(time(
             quick,
+            &format!("adapt/basis_rate_bump_repair/{layers}x{width}"),
+            || {
+                let mut net = net_b0.clone();
+                let mut solver = solver_b0.clone();
+                let out = solver.increase_flow(&mut net, src, dst, delta);
+                debug_assert!(out.complete());
+                debug_assert_eq!(out.tier, mincostflow::RepairTier::WarmBasis);
+                black_box(out.routed);
+            },
+        ));
+        results.push(time(
+            quick,
             &format!("adapt/rate_bump_cold/{layers}x{width}"),
             || {
                 let mut net = net0.clone();
@@ -333,6 +368,33 @@ fn bench_suite(quick: bool) {
                 black_box(sol.cost);
             },
         ));
+    }
+
+    // Headline ratios as first-class entries: basis repair vs the cold
+    // re-solve, per size and event. Reported in the `x` unit (bigger is
+    // better) so the verify.sh tripwire inverts its comparison and a
+    // collapse of the speedup itself — not just an absolute slowdown —
+    // flags on the diff.
+    {
+        let ns_of = |results: &[Measurement], name: &str| {
+            results
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.value)
+                .unwrap_or(f64::NAN)
+        };
+        let mut ratios = Vec::new();
+        for size in ["3x8", "5x16", "6x24"] {
+            for event in ["crash", "crash_worst", "rate_bump"] {
+                let cold = ns_of(&results, &format!("adapt/{event}_cold/{size}"));
+                let basis = ns_of(&results, &format!("adapt/basis_{event}_repair/{size}"));
+                ratios.push(record_ratio(
+                    &format!("adapt/basis_{event}_speedup/{size}"),
+                    cold / basis,
+                ));
+            }
+        }
+        results.extend(ratios);
     }
 
     // --- Steady-state allocation check --------------------------------
@@ -447,6 +509,13 @@ fn bench_suite(quick: bool) {
                 / ns_of(&format!("adapt/crash_worst_repair/{size}")),
             ns_of(&format!("adapt/rate_bump_cold/{size}"))
                 / ns_of(&format!("adapt/rate_bump_repair/{size}")),
+        );
+        println!(
+            "  warm-basis tier at {size}:      crash repair {:.1}x (worst-case host {:.1}x), \
+             rate bump {:.1}x vs cold re-solve",
+            ns_of(&format!("adapt/basis_crash_speedup/{size}")),
+            ns_of(&format!("adapt/basis_crash_worst_speedup/{size}")),
+            ns_of(&format!("adapt/basis_rate_bump_speedup/{size}")),
         );
     }
     for &apps in &rasc_bench::dataplane::SIZES {

@@ -87,6 +87,17 @@ pub fn layered_host_columns(net: &FlowNetwork, width: usize) -> Vec<Vec<EdgeId>>
     columns
 }
 
+/// Host columns of a *solved* [`layered`] instance ordered by the flow
+/// they carry, ascending. The adaptation benches kill
+/// `order[width / 2]` (the median-loaded column — the representative
+/// cost of a uniformly random crash) and `order[width - 1]` (the
+/// most-loaded column, repair's worst case).
+pub fn victims_by_load(net: &FlowNetwork, columns: &[Vec<EdgeId>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..columns.len()).collect();
+    order.sort_by_key(|&k| columns[k].iter().map(|&e| net.flow_on(e)).sum::<i64>());
+    order
+}
+
 /// The composition microbench scenario: a PlanetLab-like `n`-node view,
 /// a 10-service catalog with 16 candidate hosts per service, and a
 /// 3-stage chain request from node `n-2` to node `n-1`.
@@ -168,6 +179,23 @@ mod tests {
         }
         let all: std::collections::HashSet<_> = columns.iter().flatten().copied().collect();
         assert_eq!(all.len(), layers * width, "columns overlap");
+    }
+
+    #[test]
+    fn victims_by_load_orders_columns_ascending() {
+        let (layers, width) = (3, 6);
+        let (mut net, src, dst, target) = layered(layers, width, 21);
+        mincostflow::min_cost_flow(&mut net, src, dst, target, Default::default()).unwrap();
+        let columns = layered_host_columns(&net, width);
+        let order = victims_by_load(&net, &columns);
+        assert_eq!(order.len(), width);
+        let load = |k: usize| columns[k].iter().map(|&e| net.flow_on(e)).sum::<i64>();
+        for pair in order.windows(2) {
+            assert!(load(pair[0]) <= load(pair[1]), "order not ascending");
+        }
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..width).collect::<Vec<_>>(), "not a permutation");
     }
 
     #[test]

@@ -163,6 +163,21 @@ pub fn record_rate(name: &str, ops: u64, elapsed: Duration) -> Measurement {
     }
 }
 
+/// Records a dimensionless ratio — e.g. a speedup of one benchmark over
+/// another — reported as `x` (bigger is better; the regression tripwire
+/// inverts its comparison for this unit, like `units/s`).
+pub fn record_ratio(name: &str, ratio: f64) -> Measurement {
+    Measurement {
+        name: name.to_string(),
+        unit: "x".to_string(),
+        value: ratio,
+        min: ratio,
+        max: ratio,
+        iters: 1,
+        samples: 1,
+    }
+}
+
 fn time_batch<F: FnMut()>(op: &mut F, iters: u64) -> Duration {
     let start = Instant::now();
     for _ in 0..iters {
@@ -263,6 +278,15 @@ mod tests {
         let m = record_wall("sweep", Duration::from_millis(3));
         assert!((m.value - 3e6).abs() < 1.0);
         assert_eq!(m.iters, 1);
+    }
+
+    #[test]
+    fn record_ratio_reports_x_unit() {
+        let m = record_ratio("adapt/basis_crash_speedup/6x24", 21.4);
+        assert_eq!(m.unit, "x");
+        assert!((m.value - 21.4).abs() < 1e-9);
+        let line = m.line();
+        assert!(line.contains(" x "), "{line}");
     }
 
     #[test]

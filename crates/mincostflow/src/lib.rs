@@ -68,8 +68,8 @@ pub use capacity_scaling::CapacityScaling;
 pub use cost_scaling::CostScaling;
 pub use dinic::dinic_max_flow;
 pub use network::{EdgeId, FlowNetwork, NodeId};
-pub use repair::RepairOutcome;
-pub use simplex::NetworkSimplex;
+pub use repair::{RepairOutcome, RepairTier};
+pub use simplex::{NetworkSimplex, SimplexBasis};
 pub use ssp::{SspSolver, SspVariant};
 
 /// Outcome of a successful min-cost flow solve.
@@ -137,6 +137,7 @@ pub enum Algorithm {
 pub struct FlowSolver {
     algorithm: Algorithm,
     ssp: ssp::SspScratch,
+    basis: SimplexBasis,
 }
 
 impl FlowSolver {
@@ -145,6 +146,7 @@ impl FlowSolver {
         FlowSolver {
             algorithm,
             ssp: Default::default(),
+            basis: Default::default(),
         }
     }
 
@@ -158,6 +160,17 @@ impl FlowSolver {
     /// performance hint, never needed for correctness.
     pub fn forget(&mut self) {
         self.ssp.forget();
+        self.basis.invalidate();
+    }
+
+    /// The node potentials certifying the last simplex solve or
+    /// warm-basis repair (see [`SimplexBasis::potentials`]); the
+    /// independent dual-feasibility checker
+    /// [`validate::check_certificate`] consumes them. `None` when no
+    /// valid basis is retained (non-simplex algorithm, or a fallback
+    /// tier mutated the flows since).
+    pub fn certificate_potentials(&self) -> Option<&[i64]> {
+        self.basis.potentials()
     }
 
     /// Routes up to `target` units from `source` to `sink` at minimum
@@ -169,27 +182,87 @@ impl FlowSolver {
         sink: NodeId,
         target: i64,
     ) -> Result<Solution, Infeasible> {
+        // Any non-simplex solve installs flows behind the retained
+        // basis's back, so only the simplex arm keeps it alive.
         let variant = match self.algorithm {
             Algorithm::SpfaSsp => SspVariant::Spfa,
             Algorithm::DijkstraSsp => SspVariant::Dijkstra,
             Algorithm::DialSsp => SspVariant::Dial,
             Algorithm::CostScaling => {
-                return CostScaling::default().solve(net, source, sink, target)
+                self.basis.invalidate();
+                return CostScaling::default().solve(net, source, sink, target);
             }
-            Algorithm::CapacityScaling => return CapacityScaling.solve(net, source, sink, target),
-            Algorithm::NetworkSimplex => return NetworkSimplex.solve(net, source, sink, target),
+            Algorithm::CapacityScaling => {
+                self.basis.invalidate();
+                return CapacityScaling.solve(net, source, sink, target);
+            }
+            Algorithm::NetworkSimplex => {
+                return NetworkSimplex.solve_with(&mut self.basis, net, source, sink, target);
+            }
         };
+        self.basis.invalidate();
         SspSolver::new(variant).solve_with(&mut self.ssp, net, source, sink, target)
     }
 
-    /// Disables every edge in `dead` and re-routes the flow they carried
-    /// over the residual network, warm-started from the potentials the
-    /// preceding [`solve`](Self::solve) left behind. The repaired flow is
-    /// exactly min-cost for its value (see the `repair` module docs); a
-    /// non-zero [`RepairOutcome::shortfall`] means the damaged network
-    /// cannot carry the previous value and the caller should re-solve.
+    /// Disables every edge in `dead` and re-routes the flow they
+    /// carried, trying the repair ladder top-down (see [`RepairTier`]):
+    /// warm-basis simplex re-pivoting when a retained basis matches the
+    /// network, else the phased primal–dual path warm-started from the
+    /// potentials the preceding [`solve`](Self::solve) left behind,
+    /// else SPFA. Every tier leaves a flow that is exactly min-cost for
+    /// its value (see the `repair` module docs); a non-zero
+    /// [`RepairOutcome::shortfall`] means the damaged network cannot
+    /// carry the previous value and the caller should re-solve.
     pub fn repair_deletions(&mut self, net: &mut FlowNetwork, dead: &[EdgeId]) -> RepairOutcome {
+        if let Some(out) = self.basis.repair_deletions(net, dead) {
+            return out;
+        }
+        self.basis.invalidate();
         repair::repair_deletions(&mut self.ssp, net, dead)
+    }
+
+    /// Cuts edge `e`'s capacity to `new_cap` (at most its current
+    /// capacity) and re-routes any flow above the new bound through the
+    /// same repair ladder as [`repair_deletions`](Self::repair_deletions):
+    /// a NIC degradation is a capacity cut, a crash is a cut to zero.
+    pub fn cut_capacity(
+        &mut self,
+        net: &mut FlowNetwork,
+        e: EdgeId,
+        new_cap: i64,
+    ) -> RepairOutcome {
+        if let Some(out) = self.basis.cut_capacity(net, e, new_cap) {
+            return out;
+        }
+        self.basis.invalidate();
+        let (u, v) = net.endpoints(e);
+        let cost = net.cost(e);
+        let drained = net.reduce_capacity(e, new_cap);
+        let mut out = repair::repair(&mut self.ssp, net, &[(u, drained)], &[(v, drained)]);
+        out.cost_delta -= drained * cost;
+        out
+    }
+
+    /// Re-prices edge `e` to `new_cost` and restores min-cost
+    /// optimality at the unchanged flow value by warm-basis re-pivoting
+    /// with a localized dual update. Unlike the balance repairs this
+    /// has no augmenting-path fallback — a price change can leave
+    /// negative residual cycles, which only the basis tier (or a cold
+    /// re-solve) removes — so `None` means the price was applied but
+    /// the flow may now be suboptimal and the caller must re-solve.
+    pub fn reprice_edge(
+        &mut self,
+        net: &mut FlowNetwork,
+        e: EdgeId,
+        new_cost: i64,
+    ) -> Option<RepairOutcome> {
+        let old_cost = net.cost(e);
+        net.set_cost(e, new_cost);
+        let out = self.basis.reprice(net, e, old_cost);
+        if out.is_none() {
+            self.basis.invalidate();
+        }
+        out
     }
 
     /// Restores balance to a pseudo-flow: routes `min(Σ excess, Σ deficit)`
@@ -204,6 +277,9 @@ impl FlowSolver {
         excess: &[(NodeId, i64)],
         deficit: &[(NodeId, i64)],
     ) -> RepairOutcome {
+        // Arbitrary excess/deficit pairings have no slack-arc encoding;
+        // the augmenting-path tiers mutate flows, so the basis goes.
+        self.basis.invalidate();
         repair::repair(&mut self.ssp, net, excess, deficit)
     }
 
@@ -217,6 +293,10 @@ impl FlowSolver {
         sink: NodeId,
         delta: i64,
     ) -> RepairOutcome {
+        if let Some(out) = self.basis.increase_flow(net, source, sink, delta) {
+            return out;
+        }
+        self.basis.invalidate();
         repair::repair(&mut self.ssp, net, &[(source, delta)], &[(sink, delta)])
     }
 
@@ -231,6 +311,10 @@ impl FlowSolver {
         sink: NodeId,
         delta: i64,
     ) -> RepairOutcome {
+        if let Some(out) = self.basis.decrease_flow(net, source, sink, delta) {
+            return out;
+        }
+        self.basis.invalidate();
         repair::repair(&mut self.ssp, net, &[(sink, delta)], &[(source, delta)])
     }
 }

@@ -317,6 +317,58 @@ impl FlowNetwork {
         drained
     }
 
+    /// Reduces a user edge's capacity in place to `new_cap` (which must
+    /// not exceed the current capacity). Flow above the new bound is
+    /// drained — the reverse arc's residual drops to `new_cap` — and the
+    /// amount drained is returned; as with
+    /// [`disable_edge`](Self::disable_edge), the caller owes the network
+    /// that much imbalance until it is re-routed (see the `repair`
+    /// module). The recorded original capacity shrinks too, so
+    /// [`reset_flow`](Self::reset_flow) honours the cut. The CSR index
+    /// stays valid: the capacity mirror is re-synced here.
+    pub fn reduce_capacity(&mut self, e: EdgeId, new_cap: i64) -> i64 {
+        assert!(new_cap >= 0, "negative capacity");
+        assert!(new_cap <= self.original_cap[e.0], "capacity increase");
+        let fwd = e.0 * 2;
+        let kept = self.arcs[fwd + 1].cap.min(new_cap);
+        let drained = self.arcs[fwd + 1].cap - kept;
+        self.arcs[fwd].cap = new_cap - kept;
+        self.arcs[fwd + 1].cap = kept;
+        self.original_cap[e.0] = new_cap;
+        if !self.csr_dirty {
+            self.csr_arcs[self.pos[fwd] as usize].cap = self.arcs[fwd].cap;
+            self.csr_arcs[self.pos[fwd + 1] as usize].cap = kept;
+        }
+        drained
+    }
+
+    /// Re-prices a user edge in place. Installed flow is untouched, so
+    /// the flow may stop being min-cost for its value until the caller
+    /// repairs or re-solves (a cost change can create negative residual
+    /// cycles). The CSR index stays valid: the cost mirror is re-synced
+    /// here.
+    pub fn set_cost(&mut self, e: EdgeId, new_cost: i64) {
+        let fwd = e.0 * 2;
+        if self.arcs[fwd].cost < 0 {
+            self.neg_edges -= 1;
+        }
+        if new_cost < 0 {
+            self.neg_edges += 1;
+        }
+        self.arcs[fwd].cost = new_cost;
+        self.arcs[fwd + 1].cost = -new_cost;
+        if !self.csr_dirty {
+            self.csr_arcs[self.pos[fwd] as usize].cost = new_cost;
+            self.csr_arcs[self.pos[fwd + 1] as usize].cost = -new_cost;
+        }
+        // Flow already routed over the edge now rides a re-priced arc;
+        // its reverse residual may be negative even with non-negative
+        // user costs, which `maybe_negative_active` must reflect.
+        if self.flow_on(e) > 0 {
+            self.flow_dirty = true;
+        }
+    }
+
     /// Pushes `amount` of flow along arc `a` (internal; updates residuals).
     #[inline]
     pub(crate) fn push(&mut self, a: usize, amount: i64) {

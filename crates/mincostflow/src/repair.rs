@@ -53,6 +53,27 @@ use crate::network::{EdgeId, FlowNetwork, NodeId};
 use crate::ssp::{max_reduced_cost, potentials_valid, spfa, SspScratch, DIAL_SPAN_LIMIT, INF};
 use std::cmp::Reverse;
 
+/// Which rung of the repair ladder produced a [`RepairOutcome`].
+///
+/// [`crate::FlowSolver`] tries the tiers in order of decreasing
+/// speed: re-pivoting the retained simplex basis, then the phased
+/// primal–dual path warm-started from carried potentials, then the
+/// potential-free SPFA fallback. Every tier yields the same final
+/// cost (each is an exact method); the tier only reports how much
+/// prior work the repair could reuse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RepairTier {
+    /// Warm-basis network simplex: dual re-pricing plus primal
+    /// re-pivots from the retained spanning-tree basis
+    /// ([`crate::SimplexBasis`]).
+    WarmBasis,
+    /// Phased primal–dual successive shortest paths, warm-started
+    /// from the previous solve's potentials.
+    Phased,
+    /// SPFA successive shortest paths; needs no carried state.
+    Spfa,
+}
+
 /// Outcome of an incremental repair pass.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RepairOutcome {
@@ -71,10 +92,13 @@ pub struct RepairOutcome {
     /// augmentations (`false` means the SPFA fallback ran).
     pub warm: bool,
     /// Shortest-path searches the repair ran (Dijkstra phases on the warm
-    /// path, SPFA calls on the fallback). Diagnostic: a repair that needs
-    /// as many phases as a cold solve needs augmentations has lost the
-    /// batching the warm path exists for.
+    /// path, SPFA calls on the fallback, simplex pivots on the basis
+    /// tier). Diagnostic: a repair that needs as many phases as a cold
+    /// solve needs augmentations has lost the batching the warm path
+    /// exists for.
     pub phases: u32,
+    /// Which repair tier produced this outcome (see [`RepairTier`]).
+    pub tier: RepairTier,
 }
 
 impl RepairOutcome {
@@ -142,6 +166,7 @@ pub(crate) fn repair(
         cost_delta: 0,
         warm: false,
         phases: 0,
+        tier: RepairTier::Spfa,
     };
     if to_route == 0 {
         return out;
@@ -149,6 +174,9 @@ pub(crate) fn repair(
     // Warm path: the previous solve's final potentials, revalidated in
     // one O(m) scan against the current (possibly damaged) network.
     out.warm = s.pot.len() == n && potentials_valid(net, &s.pot);
+    if out.warm {
+        out.tier = RepairTier::Phased;
+    }
     s.dist.clear();
     s.dist.resize(n, INF);
     s.prev_arc.clear();
@@ -610,13 +638,15 @@ mod tests {
     }
 
     #[test]
-    fn repair_without_valid_potentials_falls_back_to_spfa() {
+    fn simplex_solve_repairs_on_the_warm_basis_tier() {
         let (mut net, edges) = diamond();
-        // Solve with a non-SSP algorithm: no potentials are carried.
+        // A simplex solve retains its basis; the repair must re-pivot
+        // it instead of falling back to an augmenting-path tier.
         let mut solver = FlowSolver::new(Algorithm::NetworkSimplex);
         let sol = solver.solve(&mut net, 0, 3, 15).unwrap();
         let out = solver.repair_deletions(&mut net, &[edges[1]]);
-        assert!(!out.warm);
+        assert_eq!(out.tier, RepairTier::WarmBasis);
+        assert!(out.warm);
         assert!(out.complete(), "{out:?}");
         let (mut cold, e2) = diamond();
         cold.disable_edge(e2[1]);
@@ -625,6 +655,39 @@ mod tests {
             .unwrap();
         assert_eq!(net.total_cost(), want.cost);
         assert_eq!(sol.cost + out.cost_delta, want.cost);
+    }
+
+    #[test]
+    fn repair_without_usable_state_falls_back_to_spfa() {
+        let (mut net, edges) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::NetworkSimplex);
+        let sol = solver.solve(&mut net, 0, 3, 15).unwrap();
+        // A structural change strands the retained basis, and a simplex
+        // solve carries no SSP potentials either: bottom tier it is.
+        net.add_edge(1, 2, 0, 1);
+        let out = solver.repair_deletions(&mut net, &[edges[1]]);
+        assert_eq!(out.tier, RepairTier::Spfa);
+        assert!(!out.warm);
+        assert!(out.complete(), "{out:?}");
+        let (mut cold, e2) = diamond();
+        cold.add_edge(1, 2, 0, 1);
+        cold.disable_edge(e2[1]);
+        let want = FlowSolver::new(Algorithm::SpfaSsp)
+            .solve(&mut cold, 0, 3, 15)
+            .unwrap();
+        assert_eq!(net.total_cost(), want.cost);
+        assert_eq!(sol.cost + out.cost_delta, want.cost);
+    }
+
+    #[test]
+    fn phased_tier_reports_itself() {
+        let (mut net, edges) = diamond();
+        let mut solver = FlowSolver::new(Algorithm::DijkstraSsp);
+        solver.solve(&mut net, 0, 3, 15).unwrap();
+        let out = solver.repair_deletions(&mut net, &[edges[1]]);
+        assert_eq!(out.tier, RepairTier::Phased);
+        assert!(out.warm);
+        assert!(out.complete(), "{out:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use super::gain_prefix;
 use super::mincost::{cost_of, overcommits_a_host, RATE_SCALE};
 use crate::model::{ExecutionGraph, Placement, ServiceCatalog, ServiceRequest, Stage};
 use crate::view::SystemView;
-use mincostflow::{EdgeId, FlowNetwork, FlowSolver};
+use mincostflow::{EdgeId, FlowNetwork, FlowSolver, RepairOutcome, RepairTier};
 use std::collections::HashMap;
 
 /// Repair aborts when any retained host's arc cost moved more than this
@@ -175,6 +175,9 @@ impl CompositionCache {
             if !out.complete() {
                 return None;
             }
+            if audit_enabled() {
+                audit_repair(cs, &out);
+            }
             if out.routed == 0 {
                 // The dead host carried no flow here; placements stand.
                 substreams.push(graph.substreams[l].clone());
@@ -190,6 +193,35 @@ impl CompositionCache {
         }
         self.map.insert(key, subs);
         Some(candidate)
+    }
+}
+
+/// Whether `RASC_AUDIT=1` asks repaired flows to be re-certified.
+fn audit_enabled() -> bool {
+    std::env::var("RASC_AUDIT")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
+
+/// Re-certifies a completed repair in place. A warm-basis repair must
+/// present dual-feasible potentials for the repaired arena
+/// ([`check_certificate`](mincostflow::validate::check_certificate),
+/// `O(m)` — the stronger check, since it validates the *retained*
+/// certificate later repairs will warm-start from); the fallback tiers
+/// keep no certificate, so they get the negative-residual-cycle oracle
+/// instead. Panics on violation: a silently suboptimal repaired flow
+/// would poison every later incremental repair of this application.
+fn audit_repair(cs: &CachedSubstream, out: &RepairOutcome) {
+    if out.tier == RepairTier::WarmBasis {
+        let pot = cs
+            .solver
+            .certificate_potentials()
+            .expect("a warm-basis repair leaves a valid basis");
+        if let Err(v) = mincostflow::validate::check_certificate(&cs.net, pot) {
+            panic!("audit: warm-basis repair is not dual-feasible: {v:?}");
+        }
+    } else if let Err(v) = mincostflow::validate::check_optimality(&cs.net) {
+        panic!("audit: repaired flow is not min-cost: {v:?}");
     }
 }
 
@@ -324,6 +356,41 @@ mod tests {
         let g3 = comp.repair(0, &req, &catalog, &g2, 2, &after2).unwrap();
         assert_eq!(placed_hosts(&g3), vec![3]);
         assert!((g3.substreams[0][0].total_rate() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simplex_composer_repairs_on_the_warm_basis_tier() {
+        use mincostflow::Algorithm;
+        let catalog = crate::model::ServiceCatalog::synthetic(1, 8);
+        let base = flat_view();
+        let mut view = base.clone();
+        view.set_drop_ratio(1, 0.0);
+        view.set_drop_ratio(2, 0.05);
+        let pre = view.clone();
+        let req = ServiceRequest::chain(&[0], 40.0, 0, 4);
+        let providers = providers_for(&[(0, &[1, 2])]);
+        let mut comp = MinCostComposer::with_algorithm(Algorithm::NetworkSimplex);
+        let g = comp
+            .compose(&req, &catalog, &providers, &mut view, &mut SimRng::new(0))
+            .unwrap();
+        assert_eq!(placed_hosts(&g), vec![1]);
+        comp.retain_for_repair(11);
+        let after = view_without(&pre, 1);
+        let repaired = comp
+            .repair(11, &req, &catalog, &g, 1, &after)
+            .expect("repair must evacuate host 1");
+        assert_eq!(placed_hosts(&repaired), vec![2]);
+        assert!((repaired.substreams[0][0].total_rate() - 40.0).abs() < 1e-6);
+        // The retained entry must have been repaired on the warm-basis
+        // tier: only that tier keeps a live certificate (the fallback
+        // tiers invalidate the basis), and the repaired arena must pass
+        // the same dual-feasibility audit the chaos soak applies.
+        let cs = &comp.cache.map[&11][0];
+        let pot = cs
+            .solver
+            .certificate_potentials()
+            .expect("warm-basis repair retains its certificate");
+        mincostflow::validate::check_certificate(&cs.net, pot).unwrap();
     }
 
     #[test]

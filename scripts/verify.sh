@@ -25,15 +25,26 @@ RASC_AUDIT=1 cargo test -q -p rasc-core -p workload
 # named here so a backend change can never slip past verification.
 cargo test -q -p desim --test queue_equivalence
 
+# Warm-basis repair equivalence: randomized arc-deletion / capacity-cut /
+# cost-bump / node-removal events repaired on the retained simplex basis
+# must match a cold network-simplex solve bit-for-bit in value and cost,
+# and present a dual-feasible certificate. Named for the same reason as
+# the queue suite: a simplex or repair-ladder change must never slip
+# past verification.
+cargo test -q -p mincostflow --test basis_equivalence
+
 # Microbenchmark smoke run: small fixed-seed iterations; exercises the
 # compose/solver hot paths and the data plane (including both
 # steady-state zero-allocation asserts) without touching the committed
 # BENCH_compose.json. The smoke numbers are then diffed against the
 # committed ones, direction keyed off each line's unit token: a
 # ns/op hot-path benchmark (compose*/solver*/adapt*) more than 2x
-# slower, or a units/s dataplane/* rate at less than half the committed
-# throughput, prints a WARNING — quick-mode runs are noisy and machines
-# differ, so this is a tripwire for accidental regressions, not a gate.
+# slower, a units/s dataplane/* rate at less than half the committed
+# throughput, or an x-unit adapt/basis_* speedup ratio at less than half
+# the committed one (ratios are bigger-is-better, so the comparison is
+# inverted like units/s), prints a WARNING — quick-mode runs are noisy
+# and machines differ, so this is a tripwire for accidental regressions,
+# not a gate.
 BENCH_OUT=$(mktemp)
 cargo run --release -q --bin repro -- bench --quick | tee "$BENCH_OUT"
 if [ -f BENCH_compose.json ]; then
@@ -57,6 +68,11 @@ if [ -f BENCH_compose.json ]; then
     $3 == "units/s" && $1 ~ /^dataplane\// {
       if (unit[$1] == "units/s" && base[$1] > 0 && $2 < base[$1] / 2)
         printf "verify: WARNING %s slowed to %.2fx of committed (%.0f -> %.0f units/s)\n", \
+            $1, $2 / base[$1], base[$1], $2
+    }
+    $3 == "x" && $1 ~ /^adapt\/basis_/ {
+      if (unit[$1] == "x" && base[$1] > 0 && $2 < base[$1] / 2)
+        printf "verify: WARNING %s speedup fell to %.2fx of committed (%.1fx -> %.1fx)\n", \
             $1, $2 / base[$1], base[$1], $2
     }
   ' BENCH_compose.json "$BENCH_OUT"
