@@ -58,9 +58,20 @@ pub struct Measurement {
     pub iters: u64,
     /// Number of samples taken.
     pub samples: usize,
+    /// Free-form annotation carried into the JSON report. The one
+    /// meaningful value today is `"ap1"`: the entry measures parallel
+    /// scaling but was taken on a box with `available_parallelism == 1`,
+    /// so `scripts/verify.sh` must not treat it as a scaling reference.
+    pub note: Option<String>,
 }
 
 impl Measurement {
+    /// Attaches an annotation (see [`Measurement::note`]).
+    pub fn with_note(mut self, note: &str) -> Self {
+        self.note = Some(note.to_string());
+        self
+    }
+
     /// Renders a single aligned report line.
     pub fn line(&self) -> String {
         format!(
@@ -130,6 +141,7 @@ pub fn bench_config<F: FnMut()>(
         max: per_sample_ns[samples - 1],
         iters: iters_per_sample,
         samples,
+        note: None,
     }
 }
 
@@ -144,6 +156,7 @@ pub fn record_wall(name: &str, elapsed: Duration) -> Measurement {
         max: elapsed.as_secs_f64() * 1e9,
         iters: 1,
         samples: 1,
+        note: None,
     }
 }
 
@@ -160,6 +173,7 @@ pub fn record_rate(name: &str, ops: u64, elapsed: Duration) -> Measurement {
         max: per_sec,
         iters: ops,
         samples: 1,
+        note: None,
     }
 }
 
@@ -175,6 +189,24 @@ pub fn record_ratio(name: &str, ratio: f64) -> Measurement {
         max: ratio,
         iters: 1,
         samples: 1,
+        note: None,
+    }
+}
+
+/// Records a bare counter in an explicit unit — e.g. simplex pivots per
+/// repair. Counter units are outside the regression tripwire's keyed
+/// set (`ns/op`, `units/s`, `x`), so these entries are tracked in the
+/// diff without a pass/fail direction.
+pub fn record_value(name: &str, value: f64, unit: &str) -> Measurement {
+    Measurement {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        value,
+        min: value,
+        max: value,
+        iters: 1,
+        samples: 1,
+        note: None,
     }
 }
 
@@ -201,16 +233,21 @@ pub fn render_json(context: &[(&str, String)], results: &[Measurement]) -> Strin
         if i > 0 {
             out.push(',');
         }
+        let note = match &m.note {
+            Some(n) => format!(", \"note\": {}", json_string(n)),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "\n    {{\"name\": {}, \"unit\": {}, \"value\": {:.2}, \"min\": {:.2}, \
-             \"max\": {:.2}, \"iters\": {}, \"samples\": {}}}",
+             \"max\": {:.2}, \"iters\": {}, \"samples\": {}{}}}",
             json_string(&m.name),
             json_string(&m.unit),
             m.value,
             m.min,
             m.max,
             m.iters,
-            m.samples
+            m.samples,
+            note
         ));
     }
     out.push_str("\n  ]\n}\n");
@@ -262,12 +299,15 @@ mod tests {
             max: 15.0,
             iters: 100,
             samples: 5,
+            note: None,
         };
-        let doc = render_json(&[("threads", "4".to_string())], &[m]);
+        let noted = record_ratio("scaled", 2.0).with_note("ap1");
+        let doc = render_json(&[("threads", "4".to_string())], &[m, noted]);
         assert!(doc.contains("\"a\\\"b\""));
         assert!(doc.contains("\"unit\": \"ns/op\""));
         assert!(doc.contains("\"value\": 12.50"));
         assert!(doc.contains("\"threads\": \"4\""));
+        assert!(doc.contains("\"note\": \"ap1\""));
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

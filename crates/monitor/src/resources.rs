@@ -7,8 +7,22 @@
 
 /// A non-negative vector over `k` rate-based resources (e.g. input
 /// bandwidth, output bandwidth, CPU cycles/s).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(PartialEq, Debug)]
 pub struct ResourceVector(Vec<f64>);
+
+impl Clone for ResourceVector {
+    fn clone(&self) -> Self {
+        ResourceVector(self.0.clone())
+    }
+
+    /// Reuses the existing heap buffer when the dimensions match.
+    /// Snapshot views hold one `ResourceVector` per node, so cloning a
+    /// thousand-node view costs thousands of allocations — `clone_from`
+    /// over a previously cloned view costs none.
+    fn clone_from(&mut self, source: &Self) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl ResourceVector {
     /// Creates a vector from per-resource amounts (all must be ≥ 0).

@@ -66,22 +66,45 @@ const INF_CAP: i64 = i64::MAX / 8;
 const LATENCY_WEIGHT: f64 = 0.5;
 
 /// One-way link latencies in milliseconds, shared with the engine.
+///
+/// Either an explicit row-major table, or a handle to the topology's own
+/// latency model — the latter costs whatever the topology stores
+/// (`O(n + clusters²)` for the large-topology generators), never a
+/// separately materialized `n²` table.
 #[derive(Clone, Debug)]
 pub struct LatencyMatrix {
-    n: usize,
-    ms: Vec<f64>,
+    repr: LatRepr,
+}
+
+#[derive(Clone, Debug)]
+enum LatRepr {
+    Dense { n: usize, ms: Vec<f64> },
+    Model(simnet::Topology),
 }
 
 impl LatencyMatrix {
     /// Builds a matrix from a row-major `n × n` table.
     pub fn new(n: usize, ms: Vec<f64>) -> Self {
         assert_eq!(ms.len(), n * n, "latency table must be n x n");
-        LatencyMatrix { n, ms }
+        LatencyMatrix {
+            repr: LatRepr::Dense { n, ms },
+        }
+    }
+
+    /// Wraps the topology's latency model directly (no dense table is
+    /// built — the matrix costs what the topology's model costs).
+    pub fn from_topology(topology: &simnet::Topology) -> Self {
+        LatencyMatrix {
+            repr: LatRepr::Model(topology.clone()),
+        }
     }
 
     /// One-way latency `u → v` in milliseconds.
     pub fn get(&self, u: usize, v: usize) -> f64 {
-        self.ms[u * self.n + v]
+        match &self.repr {
+            LatRepr::Dense { n, ms } => ms[u * n + v],
+            LatRepr::Model(t) => t.latency(u, v).as_millis_f64(),
+        }
     }
 }
 
@@ -132,6 +155,11 @@ struct Scratch {
     /// internal arcs per layer and the compose-time host costs); `None`
     /// after a conservative re-solve, whose graph repair cannot reuse.
     last_meta: Option<SolveMeta>,
+    /// Capped candidate set of the layer being wired (reused buffer).
+    selected: Vec<simnet::NodeId>,
+    /// Sorted copy of an unsorted provider list (selection needs
+    /// ascending ids for its binary-search membership test).
+    sorted_hosts: Vec<simnet::NodeId>,
 }
 
 /// What [`CachedSubstream`] needs beyond the arena itself.
@@ -141,17 +169,58 @@ struct SolveMeta {
     host_costs: Vec<(simnet::NodeId, i64)>,
 }
 
+/// Which top-k implementation trims candidate sets when
+/// [`MinCostComposer::candidate_cap`] is set. Both produce identical
+/// candidate sets (`SystemView::select_top_candidates_{indexed,linear}`
+/// share one exact ranking); `Linear` exists as the reference the
+/// equivalence suite compares against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CandidateSelection {
+    /// Capacity-bucket walk — candidate enumeration independent of the
+    /// node count at fixed provider density.
+    #[default]
+    Indexed,
+    /// Full provider scan (the reference implementation).
+    Linear,
+}
+
 /// The RASC composer.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MinCostComposer {
     /// Which min-cost flow algorithm to run (ablation hook).
     pub algorithm: Algorithm,
     /// Optional link latencies; when present, transfer edges carry a
     /// small latency-proportional cost (see [`LATENCY_WEIGHT`]).
     pub latencies: Option<Arc<LatencyMatrix>>,
+    /// When set, each layer considers only the `k` providers with the
+    /// most remaining bottleneck bandwidth instead of all of them —
+    /// the knob that keeps composition cost independent of topology
+    /// size at 1k–10k nodes. `None` (the default) preserves the
+    /// classic consider-everyone behaviour exactly.
+    pub candidate_cap: Option<usize>,
+    /// How the cap is computed (equivalence-suite hook).
+    pub selection: CandidateSelection,
+    /// Whether successful solves are snapshotted for incremental repair
+    /// (cloning the arena per substream). Batch-worker arenas turn this
+    /// off — see [`Composer::set_retention`].
+    retain_solves: bool,
     scratch: Scratch,
     /// Retained solves for incremental repair (see `compose::cache`).
     pub(crate) cache: CompositionCache,
+}
+
+impl Default for MinCostComposer {
+    fn default() -> Self {
+        MinCostComposer {
+            algorithm: Algorithm::default(),
+            latencies: None,
+            candidate_cap: None,
+            selection: CandidateSelection::default(),
+            retain_solves: true,
+            scratch: Scratch::default(),
+            cache: CompositionCache::default(),
+        }
+    }
 }
 
 impl Composer for MinCostComposer {
@@ -199,7 +268,7 @@ impl Composer for MinCostComposer {
                 // Snapshot the solved arena for incremental repair while
                 // it still holds the plain-path flow (the meta is `None`
                 // whenever a fallback path produced these stages).
-                let meta = self.scratch.last_meta.take();
+                let meta = self.scratch.last_meta.take().filter(|_| self.retain_solves);
                 let cached = meta.map(|m| CachedSubstream {
                     net: self.scratch.net.clone(),
                     solver: self.scratch.solver.clone(),
@@ -245,6 +314,20 @@ impl Composer for MinCostComposer {
     ) -> Option<ExecutionGraph> {
         self.cache.repair(key, req, catalog, graph, dead, view)
     }
+
+    fn forget_warm_state(&mut self) {
+        // The potential snapshot is the only solver state that can tilt
+        // equal-cost tie-breaking between solves; the buffers it leaves
+        // allocated are results-neutral.
+        self.scratch.solver.forget();
+    }
+
+    fn set_retention(&mut self, on: bool) {
+        self.retain_solves = on;
+        if !on {
+            self.cache.discard_all();
+        }
+    }
 }
 
 /// A single-substream copy of `req` (for reservation bookkeeping).
@@ -266,15 +349,19 @@ impl MinCostComposer {
     pub fn with_algorithm(algorithm: Algorithm) -> Self {
         MinCostComposer {
             algorithm,
-            latencies: None,
-            scratch: Scratch::default(),
-            cache: CompositionCache::default(),
+            ..Default::default()
         }
     }
 
     /// Attaches link latencies for latency-aware transfer costs.
     pub fn with_latencies(mut self, latencies: Arc<LatencyMatrix>) -> Self {
         self.latencies = Some(latencies);
+        self
+    }
+
+    /// Caps every layer to the `k` best-capacity candidates.
+    pub fn with_candidate_cap(mut self, k: usize) -> Self {
+        self.candidate_cap = Some(k);
         self
     }
 
@@ -357,7 +444,12 @@ impl MinCostComposer {
             costs,
             solver,
             last_meta,
+            selected,
+            sorted_hosts,
         } = &mut self.scratch;
+        let candidate_cap = self.candidate_cap;
+        let selection = self.selection;
+        let retain_solves = self.retain_solves;
         *last_meta = None;
         net.reset(2);
         costs.begin(view.len());
@@ -383,7 +475,35 @@ impl MinCostComposer {
         let mut internal_edges: Vec<Vec<mincostflow::EdgeId>> = Vec::new();
         for (i, &service) in services.iter().enumerate() {
             let ratio = catalog.get(service).rate_ratio;
-            let hosts = &providers[&service];
+            let all_hosts = &providers[&service];
+            // Capped enumeration: keep only the k candidates with the
+            // most remaining bottleneck bandwidth. Selection is a pure
+            // function of (view, providers, k) — the view does not move
+            // between the plain solve and a conservative re-solve of the
+            // same substream, so both see the same candidate set.
+            let hosts: &[simnet::NodeId] = match candidate_cap {
+                Some(k) if all_hosts.len() > k => {
+                    let sorted: &[simnet::NodeId] = if all_hosts.windows(2).all(|w| w[0] < w[1]) {
+                        all_hosts
+                    } else {
+                        sorted_hosts.clear();
+                        sorted_hosts.extend_from_slice(all_hosts);
+                        sorted_hosts.sort_unstable();
+                        sorted_hosts.dedup();
+                        sorted_hosts
+                    };
+                    match selection {
+                        CandidateSelection::Indexed => {
+                            view.select_top_candidates_indexed(sorted, k, selected)
+                        }
+                        CandidateSelection::Linear => {
+                            view.select_top_candidates_linear(sorted, k, selected)
+                        }
+                    }
+                    selected
+                }
+                _ => all_hosts,
+            };
             let mut this_layer = Vec::with_capacity(hosts.len());
             let mut this_edges = Vec::with_capacity(hosts.len());
             let exec_secs = catalog.get(service).exec_time.as_secs_f64();
@@ -451,7 +571,9 @@ impl MinCostComposer {
         // Record what incremental repair needs (plain path only: the
         // conservative shares bake role-split capacities into the arcs,
         // which a later repair must not treat as the host's true r_max).
-        if shrink.is_none() {
+        // With retention off — the batch admitter's worker arenas — the
+        // snapshot would be discarded unread, so skip its allocations.
+        if shrink.is_none() && retain_solves {
             let layers: Vec<Vec<(mincostflow::EdgeId, simnet::NodeId)>> = layer_nodes
                 .iter()
                 .zip(&internal_edges)

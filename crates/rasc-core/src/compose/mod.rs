@@ -20,14 +20,16 @@
 //! be carried within remaining capacities, the whole request is rejected
 //! and the view is left untouched (reservations are rolled back).
 
+mod batch;
 mod cache;
 mod greedy;
 mod mincost;
 mod random;
 mod single;
 
+pub use batch::{BatchAdmitter, BatchItem, BatchOutcome, ReconcileStats};
 pub use greedy::GreedyComposer;
-pub use mincost::{LatencyMatrix, MinCostComposer};
+pub use mincost::{CandidateSelection, LatencyMatrix, MinCostComposer};
 pub use random::RandomComposer;
 
 use crate::model::{ExecutionGraph, ServiceCatalog, ServiceId, ServiceRequest};
@@ -119,6 +121,23 @@ pub trait Composer {
     ) -> Option<ExecutionGraph> {
         None
     }
+
+    /// Drops any cross-compose warm-start state (e.g. carried solver
+    /// potentials) so the next [`compose`](Self::compose) is a pure
+    /// function of its inputs. Warm starts never change composition
+    /// *cost*, but among equal-cost placements they can tilt which one
+    /// the solver lands on — the batch pipeline calls this before every
+    /// item so pooled arenas produce identical placements no matter
+    /// which items they happened to process earlier. Stateless
+    /// composers have nothing to drop.
+    fn forget_warm_state(&mut self) {}
+
+    /// Enables or disables retention of compose state for incremental
+    /// repair. Batch-worker arenas disable it: retention clones the
+    /// solved arena per substream, and a pooled arena's cache could
+    /// never be claimed under a stable app id anyway. Composers with no
+    /// retained state ignore this.
+    fn set_retention(&mut self, _on: bool) {}
 }
 
 /// Which composer an engine runs (select-by-config for experiments).
@@ -135,7 +154,7 @@ pub enum ComposerKind {
 
 impl ComposerKind {
     /// Instantiates the composer.
-    pub fn build(self) -> Box<dyn Composer> {
+    pub fn build(self) -> Box<dyn Composer + Send> {
         match self {
             ComposerKind::MinCost => Box::new(MinCostComposer::default()),
             ComposerKind::Random => Box::new(RandomComposer),
@@ -221,8 +240,10 @@ pub(crate) fn gain_prefix(catalog: &ServiceCatalog, services: &[ServiceId]) -> V
 }
 
 /// Applies an execution graph's bandwidth reservations to the view
-/// (components, source uplink, destination downlink).
-pub(crate) fn apply_reservations(
+/// (components, source uplink, destination downlink). Public so the
+/// determinism suites can replay "base snapshot + admitted graphs" and
+/// assert it reproduces a batch's committed ledger bit-for-bit.
+pub fn apply_reservations(
     req: &ServiceRequest,
     catalog: &ServiceCatalog,
     graph: &ExecutionGraph,

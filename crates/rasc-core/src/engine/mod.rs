@@ -32,7 +32,10 @@ pub use trace::{Trace, TraceEvent};
 pub use wrr::{ChunkedWrr, Wrr};
 
 use crate::catalog::ServiceDirectory;
-use crate::compose::{gain_prefix, ComposeError, Composer, ComposerKind, ProviderMap};
+use crate::compose::{
+    apply_reservations, gain_prefix, BatchAdmitter, BatchItem, ComposeError, Composer,
+    ComposerKind, ProviderMap, ReconcileStats,
+};
 use crate::metrics::{DropCause, RunReport, SubstreamTracker};
 use crate::model::{AppId, ExecutionGraph, ServiceCatalog, ServiceRequest};
 use crate::view::SystemView;
@@ -107,6 +110,14 @@ pub struct EngineConfig {
     pub audit: bool,
     /// Seconds of simulated time between audit checkpoints.
     pub audit_period_secs: f64,
+    /// Caps the per-layer candidate-host set the MinCost composer feeds
+    /// its flow network (ranked by remaining per-direction bandwidth;
+    /// see [`MinCostComposer::with_candidate_cap`]
+    /// (crate::compose::MinCostComposer::with_candidate_cap)). `None`
+    /// considers every discovered provider — the exact legacy
+    /// behaviour. At thousand-node scale this is the knob that keeps
+    /// per-request composition cost independent of the overlay size.
+    pub candidate_cap: Option<usize>,
     /// Network model tunables.
     pub net: NetworkConfig,
 }
@@ -138,6 +149,7 @@ impl Default for EngineConfig {
             cpu_cores: None,
             audit: audit_from_env(),
             audit_period_secs: 2.0,
+            candidate_cap: None,
             net: NetworkConfig::default(),
         }
     }
@@ -252,17 +264,18 @@ impl EngineBuilder {
             ),
         };
         let mut rng = SimRng::new(seed ^ 0x454E47494E455F31);
+        let mut latencies = None;
         let composer: Box<dyn Composer> = match config.composer {
             ComposerKind::MinCost => {
-                let lat_ms: Vec<f64> = (0..n)
-                    .flat_map(|u| (0..n).map(move |v| (u, v)))
-                    .map(|(u, v)| topology.latency(u, v).as_millis_f64())
-                    .collect();
-                let matrix = std::sync::Arc::new(crate::compose::LatencyMatrix::new(n, lat_ms));
-                Box::new(
-                    crate::compose::MinCostComposer::with_algorithm(config.flow_algorithm)
-                        .with_latencies(matrix),
-                )
+                let matrix =
+                    std::sync::Arc::new(crate::compose::LatencyMatrix::from_topology(&topology));
+                latencies = Some(matrix.clone());
+                let mut c = crate::compose::MinCostComposer::with_algorithm(config.flow_algorithm)
+                    .with_latencies(matrix);
+                if let Some(k) = config.candidate_cap {
+                    c = c.with_candidate_cap(k);
+                }
+                Box::new(c)
             }
             other => other.build(),
         };
@@ -319,6 +332,8 @@ impl EngineBuilder {
             base_specs,
             auditor,
             draining: false,
+            latencies,
+            batch: None,
             config,
         };
         if let Some(bg) = state.config.background.clone() {
@@ -481,7 +496,34 @@ struct EngineState {
     /// Set by `quiesce`: reject further submissions so the event backlog
     /// can drain to empty for the teardown audit.
     draining: bool,
+    /// Latency matrix shared with batch-worker composers (MinCost only;
+    /// the engine's own composer holds another `Arc` to the same one).
+    latencies: Option<std::sync::Arc<crate::compose::LatencyMatrix>>,
+    /// Lazily built batch-admission pipeline (`Engine::submit_batch`),
+    /// keyed by the worker count it was built for. Worker arenas persist
+    /// across batches, so steady-state batch admission rebuilds flow
+    /// networks inside retained buffers instead of allocating them.
+    batch: Option<(usize, BatchAdmitter)>,
     config: EngineConfig,
+}
+
+/// What [`Engine::submit_batch`] returns: one admission result per
+/// request (index-aligned with the submitted burst) plus the reconcile
+/// accounting and the determinism digest of the underlying
+/// [`BatchOutcome`](crate::compose::BatchOutcome).
+#[derive(Debug)]
+pub struct BatchSubmitReport {
+    /// Per-request outcome: the installed app id, or why admission was
+    /// refused.
+    pub apps: Vec<Result<AppId, ComposeError>>,
+    /// Request indices that went through conflict replay, ascending.
+    pub replayed: Vec<usize>,
+    /// Reconcile-phase accounting.
+    pub stats: ReconcileStats,
+    /// Order-sensitive digest over every composed placement and
+    /// rejection — equal digests mean the same apps landed on the same
+    /// hosts at the same rates, regardless of worker count.
+    pub digest: u64,
 }
 
 /// The RASC runtime over a simulated wide-area network.
@@ -521,6 +563,21 @@ impl Engine {
     /// Schedules a request submission at an absolute simulated time.
     pub fn submit_at(&mut self, at: SimTime, req: ServiceRequest) {
         self.queue.schedule(at, Event::Submit(req));
+    }
+
+    /// Submits a burst of requests *now* through the batch-admission
+    /// pipeline: one measured-view snapshot for the whole burst,
+    /// discovery and statistics pulls deduplicated per distinct
+    /// `(source, service)` / `(source, candidate)` pair, compositions
+    /// run optimistically on `threads` pooled workers, and winners
+    /// committed in submission order with conflict replay (see
+    /// [`BatchAdmitter`]). `threads == 0` uses the machine default
+    /// (`RASC_THREADS` / available parallelism); any positive worker
+    /// count yields the identical, digest-checked outcome.
+    pub fn submit_batch(&mut self, reqs: Vec<ServiceRequest>, threads: usize) -> BatchSubmitReport {
+        let now = self.state.now;
+        self.state
+            .handle_submit_batch(now, reqs, threads, &mut self.queue)
     }
 
     /// Runs the simulation until `horizon`.
@@ -867,6 +924,193 @@ impl EngineState {
                 }
                 Err(e)
             }
+        }
+    }
+
+    /// The batch counterpart of [`handle_submit`](Self::handle_submit):
+    /// §3.1 steps 1–3 once per burst instead of once per request.
+    ///
+    /// Control-plane work is deduplicated across the burst — each
+    /// distinct `(source, service)` is discovered once and each distinct
+    /// `(source, candidate)` statistics pull is charged once (a burst
+    /// from one source touching the same services pays one discovery,
+    /// not `k`) — and a single measured view serves as every request's
+    /// composition snapshot. Admission itself runs through the
+    /// [`BatchAdmitter`]: optimistic parallel compose against the shared
+    /// snapshot, then a serial, submission-order commit with conflict
+    /// replay. Admitted apps all start at the burst's control-plane
+    /// `ready_at` horizon.
+    ///
+    /// Batch-admitted apps are repaired by cold recomposition (worker
+    /// arenas keep no per-app solve state; see
+    /// [`Composer::set_retention`]).
+    fn handle_submit_batch(
+        &mut self,
+        now: SimTime,
+        reqs: Vec<ServiceRequest>,
+        threads: usize,
+        q: &mut EventQueue<Event>,
+    ) -> BatchSubmitReport {
+        let threads = if threads == 0 {
+            desim::pool::default_threads()
+        } else {
+            threads
+        };
+        let mut apps: Vec<Option<Result<AppId, ComposeError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        // Gate and validate exactly as the single-request path does;
+        // requests that never reach composition are rejected in place.
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut item_index: Vec<usize> = Vec::new(); // item -> request index
+        let mut ready_at = now;
+        let mut discovered: FxHashMap<(NodeId, usize), Vec<NodeId>> = FxHashMap::default();
+        let mut polled: desim::hash::FxHashSet<(NodeId, NodeId)> = Default::default();
+        for (r, req) in reqs.into_iter().enumerate() {
+            if self.draining {
+                self.report.rejected += 1;
+                apps[r] = Some(Err(ComposeError::InsufficientCapacity { substream: 0 }));
+                continue;
+            }
+            if req.validate(&self.catalog).is_err() {
+                self.report.rejected += 1;
+                apps[r] = Some(Err(ComposeError::UnknownService(usize::MAX)));
+                continue;
+            }
+            // Step 1: discovery, once per distinct (source, service).
+            let mut services: Vec<usize> = req
+                .graph
+                .substreams
+                .iter()
+                .flat_map(|s| s.services.iter().copied())
+                .collect();
+            services.sort_unstable();
+            services.dedup();
+            let mut providers = ProviderMap::new();
+            for &s in &services {
+                let found = match discovered.get(&(req.source, s)) {
+                    Some(f) => f.clone(),
+                    None => {
+                        let (found, path) = self.dir.discover(&self.overlay, req.source, s);
+                        for hop in path.windows(2) {
+                            ready_at = ready_at.max(self.charge_control(now, hop[0], hop[1]));
+                        }
+                        if let Some(&last) = path.last() {
+                            if last != req.source {
+                                ready_at = ready_at.max(self.charge_control(now, last, req.source));
+                            }
+                        }
+                        discovered.insert((req.source, s), found.clone());
+                        found
+                    }
+                };
+                providers.insert(s, found);
+            }
+            // Step 2: statistics, once per distinct (source, candidate).
+            let mut candidates: Vec<NodeId> = providers.values().flatten().copied().collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &c in &candidates {
+                if c != req.source && polled.insert((req.source, c)) {
+                    ready_at = ready_at.max(self.charge_control(now, req.source, c));
+                    ready_at = ready_at.max(self.charge_control(now, c, req.source));
+                }
+            }
+            item_index.push(r);
+            items.push((req, providers));
+        }
+        // Step 3: one snapshot for the whole burst, then the pipeline.
+        let mut view = self.measured_view(now);
+        let audit_backup = self.auditor.is_some().then(|| view.clone());
+        let seed = self.rng.next_u64();
+        let reuse = matches!(self.batch, Some((t, _)) if t == threads);
+        if !reuse {
+            let kind = self.config.composer;
+            let algorithm = self.config.flow_algorithm;
+            let cap = self.config.candidate_cap;
+            let lat = self.latencies.clone();
+            let admitter = BatchAdmitter::new(threads, move || match kind {
+                ComposerKind::MinCost => {
+                    let mut c = crate::compose::MinCostComposer::with_algorithm(algorithm);
+                    if let Some(m) = &lat {
+                        c = c.with_latencies(m.clone());
+                    }
+                    if let Some(k) = cap {
+                        c = c.with_candidate_cap(k);
+                    }
+                    Box::new(c)
+                }
+                other => other.build(),
+            });
+            self.batch = Some((threads, admitter));
+        }
+        let admitter = &self.batch.as_ref().expect("just built").1;
+        let outcome = admitter.admit_batch(&mut view, &self.catalog, &items, seed);
+        let digest = outcome.digest();
+        // Ledger-exactness audit: the pipeline's view must carry exactly
+        // the admitted reservations on top of the snapshot it was given.
+        if let (Some(_), Some(backup)) = (self.auditor.as_ref(), audit_backup) {
+            let mut expect = backup;
+            for ((req, _), r) in items.iter().zip(&outcome.results) {
+                if let Ok(g) = r {
+                    apply_reservations(req, &self.catalog, g, &mut expect);
+                }
+            }
+            if expect != view {
+                self.auditor
+                    .as_mut()
+                    .expect("checked above")
+                    .violation("batch ledger: view != snapshot + admitted reservations".into());
+            }
+        }
+        // Install winners and record rejections in submission order.
+        let replayed: Vec<usize> = outcome.replayed.iter().map(|&i| item_index[i]).collect();
+        let stats = outcome.stats.clone();
+        for (((req, _), result), &r) in items.into_iter().zip(outcome.results).zip(&item_index) {
+            match result {
+                Ok(graph) => {
+                    self.report.composed += 1;
+                    self.report.components += graph.component_count() as u64;
+                    if graph.has_splitting() {
+                        self.report.split_requests += 1;
+                    }
+                    let components = graph.component_count();
+                    let split = graph.has_splitting();
+                    let app = self.install_app(req, graph);
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(
+                            now,
+                            TraceEvent::Composed {
+                                app,
+                                components,
+                                split,
+                            },
+                        );
+                    }
+                    q.schedule(ready_at, Event::AppStart(app));
+                    apps[r] = Some(Ok(app));
+                }
+                Err(e) => {
+                    self.report.rejected += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.record(
+                            now,
+                            TraceEvent::Rejected {
+                                reason: e.to_string(),
+                            },
+                        );
+                    }
+                    apps[r] = Some(Err(e));
+                }
+            }
+        }
+        BatchSubmitReport {
+            apps: apps
+                .into_iter()
+                .map(|a| a.expect("every request got an outcome"))
+                .collect(),
+            replayed,
+            stats,
+            digest,
         }
     }
 

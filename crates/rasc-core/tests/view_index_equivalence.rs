@@ -1,0 +1,184 @@
+//! Randomized equivalence suite for the indexed `SystemView` (ISSUE 9,
+//! tentpole part 2): across seeds, topology families, and transaction
+//! histories — including rollbacks from arbitrary mid-transaction points
+//! — the capacity-bucket index must (a) stay coherent with `avail`, (b)
+//! enumerate *exactly* the candidate set the linear reference scan
+//! produces, and (c) leave capped composition decisions bit-identical
+//! between `CandidateSelection::Indexed` and `::Linear`.
+
+use desim::SimRng;
+use rasc_core::compose::{CandidateSelection, Composer, MinCostComposer, ProviderMap};
+use rasc_core::model::{ServiceCatalog, ServiceRequest, DEFAULT_UNIT_BITS};
+use rasc_core::view::SystemView;
+use simnet::{kbps, Topology};
+
+/// The families the ISSUE names, at sizes big enough that buckets are
+/// populated unevenly but small enough for the suite to stay fast.
+fn families(seed: u64) -> Vec<(&'static str, Topology)> {
+    vec![
+        (
+            "power_law",
+            Topology::power_law(160, kbps(200.0), kbps(5000.0), seed),
+        ),
+        (
+            "datacenter_wan",
+            Topology::datacenter_wan(160, 4, kbps(500.0), kbps(4000.0), seed),
+        ),
+        (
+            "planetlab",
+            Topology::planetlab_like(160, kbps(200.0), kbps(3000.0), seed),
+        ),
+        (
+            "uniform",
+            Topology::uniform(160, kbps(1500.0), desim::SimDuration::from_millis(10)),
+        ),
+    ]
+}
+
+/// A sorted, deduplicated random provider subset.
+fn random_providers(rng: &mut SimRng, n: usize) -> Vec<usize> {
+    let count = rng.range_usize(1, n / 2);
+    let mut p: Vec<usize> = (0..count).map(|_| rng.range_usize(0, n)).collect();
+    p.sort_unstable();
+    p.dedup();
+    p
+}
+
+/// One random view mutation through the public (journaled) surface.
+fn mutate(view: &mut SystemView, rng: &mut SimRng) {
+    let v = rng.range_usize(0, view.len());
+    match rng.range_usize(0, 3) {
+        0 => view.reserve_component(v, DEFAULT_UNIT_BITS, 1.0, rng.range_f64(0.1, 40.0)),
+        1 => view.release_component(v, DEFAULT_UNIT_BITS, 1.0, rng.range_f64(0.1, 10.0)),
+        _ => {
+            // Large enough to move a node across several buckets.
+            let r = rng.range_f64(0.1, 120.0);
+            view.reserve_component(v, DEFAULT_UNIT_BITS, 1.0, r);
+        }
+    }
+}
+
+fn assert_selections_match(view: &SystemView, providers: &[usize], label: &str) {
+    let mut linear = Vec::new();
+    let mut indexed = Vec::new();
+    for k in [1usize, 2, 5, 16, providers.len(), providers.len() + 7] {
+        view.select_top_candidates_linear(providers, k, &mut linear);
+        view.select_top_candidates_indexed(providers, k, &mut indexed);
+        assert_eq!(
+            linear,
+            indexed,
+            "candidate sets diverged ({label}, k={k}, p={})",
+            providers.len()
+        );
+    }
+}
+
+#[test]
+fn indexed_selection_matches_linear_across_families_and_histories() {
+    for seed in 0..8u64 {
+        for (family, topo) in families(seed) {
+            let mut rng = SimRng::new(seed ^ 0x1DE0);
+            let mut view = SystemView::fresh(&topo);
+            let providers = random_providers(&mut rng, view.len());
+            assert_selections_match(&view, &providers, family);
+
+            // Committed (non-transactional) mutations.
+            for step in 0..40 {
+                mutate(&mut view, &mut rng);
+                if step % 8 == 0 {
+                    view.check_index_coherence();
+                    assert_selections_match(&view, &providers, family);
+                }
+            }
+            view.check_index_coherence();
+            assert_selections_match(&view, &providers, family);
+        }
+    }
+}
+
+#[test]
+fn rollback_from_any_midpoint_restores_selection_equivalence() {
+    for seed in 0..6u64 {
+        let topo = Topology::power_law(128, kbps(300.0), kbps(3000.0), seed);
+        let mut rng = SimRng::new(seed ^ 0xB0B0);
+        let mut view = SystemView::fresh(&topo);
+        // Pre-transaction warm-up so the rollback target isn't pristine.
+        for _ in 0..20 {
+            mutate(&mut view, &mut rng);
+        }
+        let providers = random_providers(&mut rng, view.len());
+        let mut reference = Vec::new();
+        view.select_top_candidates_linear(&providers, 16, &mut reference);
+
+        // Roll back from every prefix length of a mutation script: the
+        // index must match the linear scan *inside* the transaction at
+        // the cut point and be restored exactly after the rollback.
+        for cut in 0..12 {
+            view.begin_transaction();
+            for _ in 0..=cut {
+                mutate(&mut view, &mut rng);
+            }
+            view.check_index_coherence();
+            assert_selections_match(&view, &providers, "mid-transaction");
+            view.rollback_transaction();
+            view.check_index_coherence();
+            assert_selections_match(&view, &providers, "post-rollback");
+            let mut after = Vec::new();
+            view.select_top_candidates_indexed(&providers, 16, &mut after);
+            assert_eq!(reference, after, "rollback did not restore the top-k");
+        }
+    }
+}
+
+#[test]
+fn capped_compose_decisions_identical_between_selections() {
+    for seed in 0..6u64 {
+        for (family, topo) in families(seed) {
+            let n = topo.len();
+            let catalog = ServiceCatalog::synthetic(4, seed);
+            let mut rng = SimRng::new(seed ^ 0xCAB);
+            let base = SystemView::fresh(&topo);
+            let mut providers = ProviderMap::new();
+            for s in 0..4 {
+                providers.insert(s, random_providers(&mut rng, n));
+            }
+            for case in 0..10 {
+                let chain = [case % 4, (case + 1) % 4];
+                let req = ServiceRequest::chain(
+                    &chain,
+                    rng.range_f64(1.0, 25.0),
+                    rng.range_usize(0, n),
+                    rng.range_usize(0, n),
+                );
+                let run = |selection: CandidateSelection| {
+                    let mut c = MinCostComposer::default().with_candidate_cap(8);
+                    c.selection = selection;
+                    let mut view = base.clone();
+                    let r = c.compose(
+                        &req,
+                        &catalog,
+                        &providers,
+                        &mut view,
+                        &mut SimRng::new(seed * 1000 + case as u64),
+                    );
+                    (r, view)
+                };
+                let (ri, vi) = run(CandidateSelection::Indexed);
+                let (rl, vl) = run(CandidateSelection::Linear);
+                match (&ri, &rl) {
+                    (Ok(gi), Ok(gl)) => {
+                        assert_eq!(gi, gl, "placements diverged ({family}, case {case})")
+                    }
+                    (Err(ei), Err(el)) => {
+                        assert_eq!(ei, el, "errors diverged ({family}, case {case})")
+                    }
+                    _ => panic!("admit/reject diverged ({family}, case {case}): {ri:?} vs {rl:?}"),
+                }
+                assert!(
+                    vi == vl,
+                    "post-compose views diverged ({family}, case {case})"
+                );
+            }
+        }
+    }
+}
