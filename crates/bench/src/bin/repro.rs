@@ -85,7 +85,13 @@ fn main() {
         "ablation-cpu" => ablation_cpu(),
         "ablation-sched" => ablation_sched(),
         "ablation-split" => ablation_split(),
-        "bench" => bench_suite(args.iter().any(|a| a == "--quick")),
+        "bench" => {
+            let filter = args
+                .windows(2)
+                .find(|w| w[0] == "--filter")
+                .map(|w| w[1].clone());
+            bench_suite(args.iter().any(|a| a == "--quick"), filter.as_deref())
+        }
         "chaos" => chaos_soak_cmd(args.iter().any(|a| a == "--quick")),
         name => match Figure::from_arg(name) {
             Some(fig) => {
@@ -96,7 +102,7 @@ fn main() {
                 eprintln!(
                     "unknown mode {name}; use all | quick | fig6..fig11 | \
                      load-matched | ablation-cpu | ablation-sched | ablation-split | \
-                     bench [--quick] | chaos [--quick]"
+                     bench [--quick] [--filter <substr>] | chaos [--quick]"
                 );
                 std::process::exit(2);
             }
@@ -117,7 +123,12 @@ fn main() {
 /// `quick` shrinks per-sample budgets and the sweep (fixed seeds, a few
 /// requests) for CI smoke runs — results are printed but NOT written to
 /// `BENCH_compose.json`, so the committed numbers stay full-fidelity.
-fn bench_suite(quick: bool) {
+///
+/// `filter` (from `repro bench --filter <substr>`) selects one family:
+/// only sections whose family name overlaps the filter run, and only
+/// entries whose name contains the filter print. Filtered runs skip
+/// the cross-family summary and never write `BENCH_compose.json`.
+fn bench_suite(quick: bool, filter: Option<&str>) {
     use mincostflow::{FlowNetwork, FlowSolver};
     use rasc_bench::instances::{compose_setup, compose_setup_saturated, layered, layered_into};
     use rasc_bench::microbench::{
@@ -135,10 +146,17 @@ fn bench_suite(quick: bool) {
     }
 
     let mut results = Vec::new();
+    // Family gate for `--filter`: a section runs when no filter is set
+    // or when the filter and the section's family overlap as substrings
+    // (so `--filter admission/sharded` still runs the admission family).
+    let want = |family: &str| match filter {
+        None => true,
+        Some(f) => f.contains(family) || family.contains(f),
+    };
 
     // --- Composition hot path (32-node, 10-service view) -------------
     let n = 32;
-    {
+    if want("compose") {
         // Steady-state rejection: every candidate saturated, the request
         // bounces and the view must come back untouched.
         let (catalog, mut view, providers, req) = compose_setup_saturated(n);
@@ -165,69 +183,73 @@ fn bench_suite(quick: bool) {
             },
         ));
     }
-    for kind in ComposerKind::ALL {
-        // Successful compose; the per-op view clone (so capacity never
-        // drains across iterations) is included in the timing, equally
-        // for every algorithm.
-        let (catalog, view, providers, req) = compose_setup(n);
-        let mut composer = kind.build();
-        let mut rng = desim::SimRng::new(9);
-        results.push(time(
-            quick,
-            &format!("compose_ok_incl_clone/{}/{n}", kind.label()),
-            || {
-                let mut v = view.clone();
-                let g = composer
-                    .compose(&req, &catalog, &providers, &mut v, &mut rng)
-                    .expect("feasible on a fresh view");
-                black_box(g.substreams.len());
-            },
-        ));
-    }
-
-    // --- Solver kernels on composition-shaped layered graphs ---------
-    for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
-        for (name, alg) in [
-            ("spfa", mincostflow::Algorithm::SpfaSsp),
-            ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
-            ("dial", mincostflow::Algorithm::DialSsp),
-            ("cost-scaling", mincostflow::Algorithm::CostScaling),
-            ("capacity-scaling", mincostflow::Algorithm::CapacityScaling),
-            ("simplex", mincostflow::Algorithm::NetworkSimplex),
-        ] {
-            let (mut net, src, dst, target) = layered(layers, width, 42);
+    if want("compose") {
+        for kind in ComposerKind::ALL {
+            // Successful compose; the per-op view clone (so capacity never
+            // drains across iterations) is included in the timing, equally
+            // for every algorithm.
+            let (catalog, view, providers, req) = compose_setup(n);
+            let mut composer = kind.build();
+            let mut rng = desim::SimRng::new(9);
             results.push(time(
                 quick,
-                &format!("solver/{name}/{layers}x{width}"),
+                &format!("compose_ok_incl_clone/{}/{n}", kind.label()),
                 || {
-                    net.reset_flow();
-                    let sol = mincostflow::min_cost_flow(&mut net, src, dst, target, alg)
-                        .expect("feasible instance");
-                    black_box(sol.cost);
+                    let mut v = view.clone();
+                    let g = composer
+                        .compose(&req, &catalog, &providers, &mut v, &mut rng)
+                        .expect("feasible on a fresh view");
+                    black_box(g.substreams.len());
                 },
             ));
         }
+    }
 
-        // Retained warm-started solver on the composer's pattern: reset
-        // the arena, rebuild the instance, solve with carried potentials
-        // and scratch buffers (rebuild cost included in the timing).
-        for (name, alg) in [
-            ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
-            ("dial", mincostflow::Algorithm::DialSsp),
-        ] {
-            let mut solver = FlowSolver::new(alg);
-            let mut net = FlowNetwork::new(0);
-            results.push(time(
-                quick,
-                &format!("solver_warm/{name}/{layers}x{width}"),
-                || {
-                    let (src, dst, target) = layered_into(&mut net, layers, width, 42);
-                    let sol = solver
-                        .solve(&mut net, src, dst, target)
-                        .expect("feasible instance");
-                    black_box(sol.cost);
-                },
-            ));
+    // --- Solver kernels on composition-shaped layered graphs ---------
+    if want("solver") {
+        for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
+            for (name, alg) in [
+                ("spfa", mincostflow::Algorithm::SpfaSsp),
+                ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
+                ("dial", mincostflow::Algorithm::DialSsp),
+                ("cost-scaling", mincostflow::Algorithm::CostScaling),
+                ("capacity-scaling", mincostflow::Algorithm::CapacityScaling),
+                ("simplex", mincostflow::Algorithm::NetworkSimplex),
+            ] {
+                let (mut net, src, dst, target) = layered(layers, width, 42);
+                results.push(time(
+                    quick,
+                    &format!("solver/{name}/{layers}x{width}"),
+                    || {
+                        net.reset_flow();
+                        let sol = mincostflow::min_cost_flow(&mut net, src, dst, target, alg)
+                            .expect("feasible instance");
+                        black_box(sol.cost);
+                    },
+                ));
+            }
+
+            // Retained warm-started solver on the composer's pattern: reset
+            // the arena, rebuild the instance, solve with carried potentials
+            // and scratch buffers (rebuild cost included in the timing).
+            for (name, alg) in [
+                ("dijkstra", mincostflow::Algorithm::DijkstraSsp),
+                ("dial", mincostflow::Algorithm::DialSsp),
+            ] {
+                let mut solver = FlowSolver::new(alg);
+                let mut net = FlowNetwork::new(0);
+                results.push(time(
+                    quick,
+                    &format!("solver_warm/{name}/{layers}x{width}"),
+                    || {
+                        let (src, dst, target) = layered_into(&mut net, layers, width, 42);
+                        let sol = solver
+                            .solve(&mut net, src, dst, target)
+                            .expect("feasible instance");
+                        black_box(sol.cost);
+                    },
+                ));
+            }
         }
     }
 
@@ -249,54 +271,115 @@ fn bench_suite(quick: bool) {
     // instead of the phased primal–dual pass, against the same cold
     // baseline. The victim columns are chosen once (by the phased
     // solution's load order) so all three entries kill the same host.
-    for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
-        use rasc_bench::instances::{layered_host_columns, victims_by_load};
-        let (mut net0, src, dst, target) = layered(layers, width, 42);
-        let mut solver0 = FlowSolver::new(mincostflow::Algorithm::DijkstraSsp);
-        solver0
-            .solve(&mut net0, src, dst, target)
-            .expect("feasible instance");
-        let (mut net_b0, _, _, _) = layered(layers, width, 42);
-        let mut solver_b0 = FlowSolver::new(mincostflow::Algorithm::NetworkSimplex);
-        solver_b0
-            .solve(&mut net_b0, src, dst, target)
-            .expect("feasible instance");
-        let columns = layered_host_columns(&net0, width);
-        let order = victims_by_load(&net0, &columns);
-        for (tag, k) in [
-            ("crash", order[width / 2]),
-            ("crash_worst", order[width - 1]),
-        ] {
-            let victim = &columns[k];
-            {
-                // The damaged instance must stay feasible at the old
-                // value, or both paths degenerate to their fallbacks.
-                let mut probe = net0.clone();
-                for &e in victim {
-                    probe.disable_edge(e);
+    if want("adapt") {
+        for &(layers, width) in &[(3usize, 8usize), (5, 16), (6, 24)] {
+            use rasc_bench::instances::{layered_host_columns, victims_by_load};
+            let (mut net0, src, dst, target) = layered(layers, width, 42);
+            let mut solver0 = FlowSolver::new(mincostflow::Algorithm::DijkstraSsp);
+            solver0
+                .solve(&mut net0, src, dst, target)
+                .expect("feasible instance");
+            let (mut net_b0, _, _, _) = layered(layers, width, 42);
+            let mut solver_b0 = FlowSolver::new(mincostflow::Algorithm::NetworkSimplex);
+            solver_b0
+                .solve(&mut net_b0, src, dst, target)
+                .expect("feasible instance");
+            let columns = layered_host_columns(&net0, width);
+            let order = victims_by_load(&net0, &columns);
+            for (tag, k) in [
+                ("crash", order[width / 2]),
+                ("crash_worst", order[width - 1]),
+            ] {
+                let victim = &columns[k];
+                {
+                    // The damaged instance must stay feasible at the old
+                    // value, or both paths degenerate to their fallbacks.
+                    let mut probe = net0.clone();
+                    for &e in victim {
+                        probe.disable_edge(e);
+                    }
+                    probe.reset_flow();
+                    mincostflow::min_cost_flow(&mut probe, src, dst, target, Default::default())
+                        .expect("crash victim leaves the instance feasible");
                 }
+                results.push(time(
+                    quick,
+                    &format!("adapt/{tag}_repair/{layers}x{width}"),
+                    || {
+                        let mut net = net0.clone();
+                        let mut solver = solver0.clone();
+                        let out = solver.repair_deletions(&mut net, victim);
+                        debug_assert!(out.complete());
+                        black_box(out.routed);
+                    },
+                ));
+                results.push(time(
+                    quick,
+                    &format!("adapt/basis_{tag}_repair/{layers}x{width}"),
+                    || {
+                        let mut net = net_b0.clone();
+                        let mut solver = solver_b0.clone();
+                        let out = solver.repair_deletions(&mut net, victim);
+                        debug_assert!(out.complete());
+                        debug_assert_eq!(out.tier, mincostflow::RepairTier::WarmBasis);
+                        black_box(out.routed);
+                    },
+                ));
+                results.push(time(
+                    quick,
+                    &format!("adapt/{tag}_cold/{layers}x{width}"),
+                    || {
+                        let mut net = net0.clone();
+                        for &e in victim {
+                            net.disable_edge(e);
+                        }
+                        net.reset_flow();
+                        let sol = mincostflow::min_cost_flow(
+                            &mut net,
+                            src,
+                            dst,
+                            target,
+                            Default::default(),
+                        )
+                        .expect("feasible after crash");
+                        black_box(sol.cost);
+                    },
+                ));
+            }
+
+            // Rate bump: the request's rate grows 5%; repair augments only
+            // the delta, cold re-solves the whole instance at the new value.
+            let delta = (target / 20).max(1);
+            {
+                let mut probe = net0.clone();
                 probe.reset_flow();
-                mincostflow::min_cost_flow(&mut probe, src, dst, target, Default::default())
-                    .expect("crash victim leaves the instance feasible");
+                mincostflow::min_cost_flow(
+                    &mut probe,
+                    src,
+                    dst,
+                    target + delta,
+                    Default::default(),
+                )
+                .expect("bumped rate stays feasible");
             }
             results.push(time(
                 quick,
-                &format!("adapt/{tag}_repair/{layers}x{width}"),
+                &format!("adapt/rate_bump_repair/{layers}x{width}"),
                 || {
                     let mut net = net0.clone();
                     let mut solver = solver0.clone();
-                    let out = solver.repair_deletions(&mut net, victim);
+                    let out = solver.increase_flow(&mut net, src, dst, delta);
                     debug_assert!(out.complete());
                     black_box(out.routed);
                 },
             ));
             results.push(time(
                 quick,
-                &format!("adapt/basis_{tag}_repair/{layers}x{width}"),
+                &format!("adapt/basis_rate_bump_repair/{layers}x{width}"),
                 || {
                     let mut net = net_b0.clone();
                     let mut solver = solver_b0.clone();
-                    let out = solver.repair_deletions(&mut net, victim);
+                    let out = solver.increase_flow(&mut net, src, dst, delta);
                     debug_assert!(out.complete());
                     debug_assert_eq!(out.tier, mincostflow::RepairTier::WarmBasis);
                     black_box(out.routed);
@@ -304,86 +387,38 @@ fn bench_suite(quick: bool) {
             ));
             results.push(time(
                 quick,
-                &format!("adapt/{tag}_cold/{layers}x{width}"),
+                &format!("adapt/rate_bump_cold/{layers}x{width}"),
                 || {
                     let mut net = net0.clone();
-                    for &e in victim {
-                        net.disable_edge(e);
-                    }
                     net.reset_flow();
-                    let sol =
-                        mincostflow::min_cost_flow(&mut net, src, dst, target, Default::default())
-                            .expect("feasible after crash");
+                    let sol = mincostflow::min_cost_flow(
+                        &mut net,
+                        src,
+                        dst,
+                        target + delta,
+                        Default::default(),
+                    )
+                    .expect("feasible at the bumped rate");
                     black_box(sol.cost);
                 },
             ));
-        }
 
-        // Rate bump: the request's rate grows 5%; repair augments only
-        // the delta, cold re-solves the whole instance at the new value.
-        let delta = (target / 20).max(1);
-        {
-            let mut probe = net0.clone();
-            probe.reset_flow();
-            mincostflow::min_cost_flow(&mut probe, src, dst, target + delta, Default::default())
-                .expect("bumped rate stays feasible");
-        }
-        results.push(time(
-            quick,
-            &format!("adapt/rate_bump_repair/{layers}x{width}"),
-            || {
-                let mut net = net0.clone();
-                let mut solver = solver0.clone();
-                let out = solver.increase_flow(&mut net, src, dst, delta);
-                debug_assert!(out.complete());
-                black_box(out.routed);
-            },
-        ));
-        results.push(time(
-            quick,
-            &format!("adapt/basis_rate_bump_repair/{layers}x{width}"),
-            || {
+            // Pivot count of the worst-case-host basis repair — the bound
+            // behind its speedup. Tracked as a first-class entry so a
+            // repair-ladder change that silently inflates the pivot work
+            // (without yet collapsing wall time on a fast box) shows up in
+            // the BENCH diff.
+            {
                 let mut net = net_b0.clone();
                 let mut solver = solver_b0.clone();
-                let out = solver.increase_flow(&mut net, src, dst, delta);
+                let out = solver.repair_deletions(&mut net, &columns[order[width - 1]]);
                 debug_assert!(out.complete());
-                debug_assert_eq!(out.tier, mincostflow::RepairTier::WarmBasis);
-                black_box(out.routed);
-            },
-        ));
-        results.push(time(
-            quick,
-            &format!("adapt/rate_bump_cold/{layers}x{width}"),
-            || {
-                let mut net = net0.clone();
-                net.reset_flow();
-                let sol = mincostflow::min_cost_flow(
-                    &mut net,
-                    src,
-                    dst,
-                    target + delta,
-                    Default::default(),
-                )
-                .expect("feasible at the bumped rate");
-                black_box(sol.cost);
-            },
-        ));
-
-        // Pivot count of the worst-case-host basis repair — the bound
-        // behind its speedup. Tracked as a first-class entry so a
-        // repair-ladder change that silently inflates the pivot work
-        // (without yet collapsing wall time on a fast box) shows up in
-        // the BENCH diff.
-        {
-            let mut net = net_b0.clone();
-            let mut solver = solver_b0.clone();
-            let out = solver.repair_deletions(&mut net, &columns[order[width - 1]]);
-            debug_assert!(out.complete());
-            results.push(record_value(
-                &format!("adapt/basis_worst_host_pivots/{layers}x{width}"),
-                out.phases as f64,
-                "pivots",
-            ));
+                results.push(record_value(
+                    &format!("adapt/basis_worst_host_pivots/{layers}x{width}"),
+                    out.phases as f64,
+                    "pivots",
+                ));
+            }
         }
     }
 
@@ -392,7 +427,7 @@ fn bench_suite(quick: bool) {
     // better) so the verify.sh tripwire inverts its comparison and a
     // collapse of the speedup itself — not just an absolute slowdown —
     // flags on the diff.
-    {
+    if want("adapt") {
         let ns_of = |results: &[Measurement], name: &str| {
             results
                 .iter()
@@ -417,7 +452,7 @@ fn bench_suite(quick: bool) {
     // --- Steady-state allocation check --------------------------------
     // After the first solve, the arena rebuild + warm solve must reuse
     // every buffer: zero heap allocations across further iterations.
-    {
+    if want("solver") {
         let mut solver = FlowSolver::default();
         let mut net = FlowNetwork::new(0);
         for _ in 0..3 {
@@ -443,7 +478,7 @@ fn bench_suite(quick: bool) {
     // backends and transfer batch sizes. These entries are rates
     // (bigger is better); verify.sh inverts its regression tripwire
     // for the `units/s` unit.
-    {
+    if want("dataplane") {
         use rasc_bench::dataplane;
         let horizon = if quick { 1.0 } else { 4.0 };
         for &apps in &dataplane::SIZES {
@@ -466,7 +501,7 @@ fn bench_suite(quick: bool) {
     // ordered reconcile) runs the full 1k/4k/10k curve. Rates count
     // *admitted* apps per wall second, so replays and rejections
     // penalize rather than inflate the headline.
-    {
+    if want("admission") {
         use rasc_bench::admission;
         let budget = Duration::from_millis(if quick { 120 } else { 1000 });
         let pool_threads = desim::pool::default_threads().max(2);
@@ -501,6 +536,52 @@ fn bench_suite(quick: bool) {
                 pool_threads,
                 budget,
             ));
+
+            // Region-sharded pipeline: shard-local composers over
+            // partial views, remote capacity via the residual digest.
+            // Throughput entries reset the view per burst (directly
+            // comparable to batch128/batch128_pooled above); the
+            // staleness sweep then drains ONE view to saturation and
+            // records the conflict/replay curve as the digest refresh
+            // interval stretches.
+            let shard_counts: &[usize] = if quick { &[4] } else { &[1, 4, 8] };
+            for &s in shard_counts {
+                results.push(admission::sharded_apps_per_sec(
+                    &format!("s{s}_b128_r1"),
+                    &sc,
+                    s,
+                    128,
+                    pool_threads,
+                    1,
+                    budget,
+                ));
+            }
+            let refreshes: &[u64] = if quick { &[1] } else { &[1, 8, 64] };
+            // Enough passes over the pool to drain the overlay into the
+            // regime where stale digests matter (~n/64 keeps the pass
+            // count proportional to capacity; quick mode stays light).
+            let passes = if quick { 2 } else { (n / 64).max(8) };
+            for &r in refreshes {
+                let acc = admission::sharded_saturation(&sc, 8, 16, pool_threads, r, passes);
+                let per_req = |count: usize| count as f64 / acc.submitted.max(1) as f64;
+                results.push(record_value(
+                    &format!("admission/sharded_conflict_rate/s8_r{r}/{n}"),
+                    per_req(acc.conflicts),
+                    "conflicts/req",
+                ));
+                results.push(record_value(
+                    &format!("admission/sharded_replay_reject_rate/s8_r{r}/{n}"),
+                    per_req(acc.replay_rejected),
+                    "rejects/req",
+                ));
+                if r == 1 {
+                    results.push(record_value(
+                        &format!("admission/sharded_cross_shard_rate/s8_r1/{n}"),
+                        per_req(acc.cross_shard),
+                        "placements/req",
+                    ));
+                }
+            }
         }
 
         // Candidate-selection kernel: the linear reference scan vs the
@@ -567,42 +648,62 @@ fn bench_suite(quick: bool) {
     // At least two workers, so the desim thread pool is exercised even
     // on single-core CI boxes.
     let threads = desim::pool::default_threads().max(2);
-    let cfg = SweepConfig {
-        setup: PaperSetup {
-            requests: if quick { 6 } else { 12 },
-            submit_window_secs: 20.0,
-            measure_secs: 40.0,
-            ..PaperSetup::default()
-        },
-        rates_kbps: if quick { vec![50.0] } else { vec![50.0, 100.0] },
-        seeds: if quick { vec![1, 2] } else { vec![1, 2, 3] },
-        config: EngineConfig::default(),
-    };
-    let start = Instant::now();
-    let serial = rasc_bench::paper_sweep_threads(&cfg, 1);
-    let serial_wall = start.elapsed();
-    let start = Instant::now();
-    let parallel = rasc_bench::paper_sweep_threads(&cfg, threads);
-    let parallel_wall = start.elapsed();
-    assert_eq!(serial.len(), parallel.len(), "sweep shape must not vary");
-    results.push(record_wall("sweep_wall/serial", serial_wall));
-    results.push(record_wall(
-        &format!("sweep_wall/parallel_x{threads}"),
-        parallel_wall,
-    ));
+    let mut sweep_walls = None;
+    if want("sweep_wall") {
+        let cfg = SweepConfig {
+            setup: PaperSetup {
+                requests: if quick { 6 } else { 12 },
+                submit_window_secs: 20.0,
+                measure_secs: 40.0,
+                ..PaperSetup::default()
+            },
+            rates_kbps: if quick { vec![50.0] } else { vec![50.0, 100.0] },
+            seeds: if quick { vec![1, 2] } else { vec![1, 2, 3] },
+            config: EngineConfig::default(),
+        };
+        let start = Instant::now();
+        let serial = rasc_bench::paper_sweep_threads(&cfg, 1);
+        let serial_wall = start.elapsed();
+        let start = Instant::now();
+        let parallel = rasc_bench::paper_sweep_threads(&cfg, threads);
+        let parallel_wall = start.elapsed();
+        assert_eq!(serial.len(), parallel.len(), "sweep shape must not vary");
+        results.push(record_wall("sweep_wall/serial", serial_wall));
+        results.push(
+            record_wall(&format!("sweep_wall/parallel_x{threads}"), parallel_wall)
+                .with_threads(threads),
+        );
+        sweep_walls = Some((serial_wall, parallel_wall));
+    }
 
     // Annotate parallel-scaling entries measured without parallelism:
     // on a 1-core box the pooled/parallel numbers measure pool overhead,
-    // not scaling, and verify.sh must not hold future runs to them.
+    // not scaling, and verify.sh must not hold future runs to them. The
+    // per-entry `threads` field is the primary signal; the name check
+    // covers legacy entries that predate it.
     let ap = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     if ap == 1 {
         for m in &mut results {
-            if m.name.contains("parallel") || m.name.contains("pooled") {
+            let pool_entry = m.threads.is_some_and(|t| t > 1);
+            if pool_entry || m.name.contains("parallel") || m.name.contains("pooled") {
                 m.note = Some("ap1".to_string());
             }
         }
+    }
+
+    if let Some(f) = filter {
+        results.retain(|m| m.name.contains(f));
+        for m in &results {
+            println!("{}", m.line());
+        }
+        println!(
+            "filter {f:?}: {} matching entries; skipping summary and \
+             BENCH_compose.json (full runs only)",
+            results.len()
+        );
+        return;
     }
 
     for m in &results {
@@ -623,6 +724,7 @@ fn bench_suite(quick: bool) {
         "\nrollback speedup vs clone baseline: {:.2}x",
         baseline.value / reject.value
     );
+    let (serial_wall, parallel_wall) = sweep_walls.expect("sweep runs on unfiltered passes");
     println!(
         "sweep speedup ({} threads): {:.2}x",
         threads,
@@ -688,6 +790,16 @@ fn bench_suite(quick: bool) {
             apps("batch128"),
             apps("batch128_pooled"),
         );
+        let sharded = |s: &str| ns_of(&format!("admission/sharded_apps_per_sec/{s}/{n}"));
+        if !sharded("s8_b128_r1").is_nan() {
+            println!(
+                "  sharded apps/sec at {n} nodes: 1 shard {:.0}, 4 shards {:.0}, \
+                 8 shards {:.0} (128-burst, refresh every batch)",
+                sharded("s1_b128_r1"),
+                sharded("s4_b128_r1"),
+                sharded("s8_b128_r1"),
+            );
+        }
     }
     println!(
         "candidate selection 1k->10k growth: linear {:.1}x, indexed {:.1}x \
@@ -800,6 +912,55 @@ fn chaos_soak_cmd(quick: bool) {
     } else {
         println!("per-cell digests are backend-independent at batch 1");
     }
+
+    // Sharded-composer axis: shard counts × digest-refresh intervals on
+    // audited engines, plus the global-pipeline twin at shard-count 1.
+    let scfg = if quick {
+        rasc_bench::ShardedSoakConfig {
+            seeds: vec![1, 2],
+            ..Default::default()
+        }
+    } else {
+        rasc_bench::ShardedSoakConfig::default()
+    };
+    println!(
+        "sharded soak: {} seeds x {} shard counts x {} refresh intervals = {} audited runs",
+        scfg.seeds.len(),
+        scfg.shard_counts.len(),
+        scfg.refresh_secs.len(),
+        scfg.runs()
+    );
+    let start = Instant::now();
+    let sharded = rasc_bench::sharded_soak_threads(&scfg, threads);
+    let sharded_wall = start.elapsed();
+    for r in &sharded.runs {
+        if r.violations > 0 {
+            failed = true;
+            eprintln!(
+                "VIOLATIONS seed {} shards {} refresh {}s: {} ({:?})",
+                r.seed, r.shards, r.refresh_secs, r.violations, r.messages
+            );
+        }
+    }
+    if let Some(bad) = sharded.twin_mismatch() {
+        failed = true;
+        eprintln!(
+            "SHARDED TWIN MISMATCH seed {} refresh {}s: sharded {:016x} != global {:016x}",
+            bad.seed,
+            bad.refresh_secs,
+            bad.batch_digest,
+            bad.twin_digest.expect("mismatch implies a twin")
+        );
+    } else {
+        println!("one-shard cells are digest-identical to the global pipeline");
+    }
+    println!(
+        "sharded violations: {} | digest: {:016x} | wall {:.2}s",
+        sharded.violations,
+        sharded.digest,
+        sharded_wall.as_secs_f64()
+    );
+
     if failed {
         std::process::exit(1);
     }

@@ -63,12 +63,25 @@ pub struct Measurement {
     /// scaling but was taken on a box with `available_parallelism == 1`,
     /// so `scripts/verify.sh` must not treat it as a scaling reference.
     pub note: Option<String>,
+    /// Effective worker count the measured code ran with (the
+    /// `desim::pool` thread count), for entries that exercise a parallel
+    /// path. `None` for single-threaded benches. Recorded per entry so
+    /// downstream tooling (the `"ap1"` annotation, `scripts/verify.sh`'s
+    /// scaling skip) derives machine context from the JSON itself
+    /// instead of guessing from benchmark names.
+    pub threads: Option<usize>,
 }
 
 impl Measurement {
     /// Attaches an annotation (see [`Measurement::note`]).
     pub fn with_note(mut self, note: &str) -> Self {
         self.note = Some(note.to_string());
+        self
+    }
+
+    /// Records the effective worker count (see [`Measurement::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -142,6 +155,7 @@ pub fn bench_config<F: FnMut()>(
         iters: iters_per_sample,
         samples,
         note: None,
+        threads: None,
     }
 }
 
@@ -157,6 +171,7 @@ pub fn record_wall(name: &str, elapsed: Duration) -> Measurement {
         iters: 1,
         samples: 1,
         note: None,
+        threads: None,
     }
 }
 
@@ -174,6 +189,7 @@ pub fn record_rate(name: &str, ops: u64, elapsed: Duration) -> Measurement {
         iters: ops,
         samples: 1,
         note: None,
+        threads: None,
     }
 }
 
@@ -190,6 +206,7 @@ pub fn record_ratio(name: &str, ratio: f64) -> Measurement {
         iters: 1,
         samples: 1,
         note: None,
+        threads: None,
     }
 }
 
@@ -207,6 +224,7 @@ pub fn record_value(name: &str, value: f64, unit: &str) -> Measurement {
         iters: 1,
         samples: 1,
         note: None,
+        threads: None,
     }
 }
 
@@ -233,10 +251,13 @@ pub fn render_json(context: &[(&str, String)], results: &[Measurement]) -> Strin
         if i > 0 {
             out.push(',');
         }
-        let note = match &m.note {
+        let mut note = match &m.note {
             Some(n) => format!(", \"note\": {}", json_string(n)),
             None => String::new(),
         };
+        if let Some(t) = m.threads {
+            note.push_str(&format!(", \"threads\": {t}"));
+        }
         out.push_str(&format!(
             "\n    {{\"name\": {}, \"unit\": {}, \"value\": {:.2}, \"min\": {:.2}, \
              \"max\": {:.2}, \"iters\": {}, \"samples\": {}{}}}",
@@ -300,14 +321,17 @@ mod tests {
             iters: 100,
             samples: 5,
             note: None,
+            threads: None,
         };
-        let noted = record_ratio("scaled", 2.0).with_note("ap1");
+        let noted = record_ratio("scaled", 2.0).with_note("ap1").with_threads(3);
         let doc = render_json(&[("threads", "4".to_string())], &[m, noted]);
         assert!(doc.contains("\"a\\\"b\""));
         assert!(doc.contains("\"unit\": \"ns/op\""));
         assert!(doc.contains("\"value\": 12.50"));
         assert!(doc.contains("\"threads\": \"4\""));
         assert!(doc.contains("\"note\": \"ap1\""));
+        // Per-entry worker count rides next to the note as a JSON number.
+        assert!(doc.contains("\"note\": \"ap1\", \"threads\": 3"));
         // Balanced braces/brackets (cheap structural sanity check).
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
         assert_eq!(doc.matches('[').count(), doc.matches(']').count());

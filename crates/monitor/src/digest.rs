@@ -1,0 +1,133 @@
+//! Residual-capacity digests for sharded admission.
+//!
+//! A sharded composer holds an authoritative view only of its own
+//! region's hosts. For every other host it composes against a
+//! [`ResidualDigest`]: a compact, read-only snapshot of per-node residual
+//! capacity (input/output bandwidth, CPU, drop ratio) that a monitoring
+//! plane refreshes periodically. Between refreshes the digest is
+//! *declared stale* — proposals composed against it may be invalidated at
+//! commit time by the owning shard's ledger, which is exactly the
+//! optimistic conflict the two-phase admission path detects and replays.
+//!
+//! The digest carries a monotone `version` so consumers can skip
+//! re-patching their partial views when nothing changed, and the capture
+//! timestamp so auditors can bound how stale any proposal's remote
+//! information was (`age`), separating "declared, bounded staleness" from
+//! an actual freshness violation.
+
+/// Per-node residual capacities captured at one instant.
+///
+/// Stored as parallel vectors (not per-node structs) so a refresh is a
+/// flat overwrite of four `Vec<f64>` with no per-node allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResidualDigest {
+    in_bps: Vec<f64>,
+    out_bps: Vec<f64>,
+    cpu: Vec<f64>,
+    drop_ratio: Vec<f64>,
+    version: u64,
+    taken_at_secs: f64,
+}
+
+impl ResidualDigest {
+    /// An empty (version 0, all-zero) digest over `n` nodes. Version 0
+    /// means "never refreshed": consumers must refresh before composing
+    /// against it.
+    pub fn new(n: usize) -> ResidualDigest {
+        ResidualDigest {
+            in_bps: vec![0.0; n],
+            out_bps: vec![0.0; n],
+            cpu: vec![0.0; n],
+            drop_ratio: vec![0.0; n],
+            version: 0,
+            taken_at_secs: 0.0,
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.in_bps.len()
+    }
+
+    /// True when the digest covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.in_bps.is_empty()
+    }
+
+    /// Overwrites every node's entry from `f(v) -> (in_bps, out_bps,
+    /// cpu, drop_ratio)` and bumps the version. `at_secs` is the capture
+    /// time in the caller's clock (simulation seconds in the engine,
+    /// batch counter in the bench loop).
+    pub fn refresh(&mut self, at_secs: f64, mut f: impl FnMut(usize) -> (f64, f64, f64, f64)) {
+        for v in 0..self.in_bps.len() {
+            let (i, o, c, d) = f(v);
+            debug_assert!(i >= 0.0 && o >= 0.0 && c >= 0.0 && (0.0..=1.0).contains(&d));
+            self.in_bps[v] = i;
+            self.out_bps[v] = o;
+            self.cpu[v] = c;
+            self.drop_ratio[v] = d;
+        }
+        self.version += 1;
+        self.taken_at_secs = at_secs;
+    }
+
+    /// Node `v`'s reported `(in_bps, out_bps, cpu, drop_ratio)`.
+    pub fn get(&self, v: usize) -> (f64, f64, f64, f64) {
+        (
+            self.in_bps[v],
+            self.out_bps[v],
+            self.cpu[v],
+            self.drop_ratio[v],
+        )
+    }
+
+    /// Monotone refresh counter; 0 until the first [`refresh`].
+    ///
+    /// [`refresh`]: ResidualDigest::refresh
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Capture time of the current contents, in the caller's clock.
+    pub fn taken_at_secs(&self) -> f64 {
+        self.taken_at_secs
+    }
+
+    /// Age of the current contents at `now` (same clock as the capture
+    /// time). Never refreshed ⇒ infinitely stale.
+    pub fn age(&self, now: f64) -> f64 {
+        if self.version == 0 {
+            f64::INFINITY
+        } else {
+            (now - self.taken_at_secs).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_digest_is_version_zero_and_infinitely_stale() {
+        let d = ResidualDigest::new(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.version(), 0);
+        assert_eq!(d.age(100.0), f64::INFINITY);
+        assert_eq!(d.get(2), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn refresh_bumps_version_and_tracks_age() {
+        let mut d = ResidualDigest::new(3);
+        d.refresh(10.0, |v| (v as f64, 2.0 * v as f64, 1.0, 0.25));
+        assert_eq!(d.version(), 1);
+        assert_eq!(d.get(2), (2.0, 4.0, 1.0, 0.25));
+        assert_eq!(d.age(10.0), 0.0);
+        assert_eq!(d.age(12.5), 2.5);
+        d.refresh(20.0, |_| (7.0, 7.0, 7.0, 0.0));
+        assert_eq!(d.version(), 2);
+        assert_eq!(d.taken_at_secs(), 20.0);
+        assert_eq!(d.get(0), (7.0, 7.0, 7.0, 0.0));
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod ewma;
 mod histogram;
 mod rate;
@@ -51,6 +52,7 @@ mod throughput;
 mod welford;
 mod window;
 
+pub use digest::ResidualDigest;
 pub use ewma::Ewma;
 pub use histogram::Histogram;
 pub use rate::RateEstimator;

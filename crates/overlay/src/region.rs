@@ -1,0 +1,154 @@
+//! Region assignment for sharded admission.
+//!
+//! A [`RegionMap`] partitions the overlay's dense member ids into a fixed
+//! number of regions. Two partitioning schemes cover the two topology
+//! families the large-scale generators produce:
+//!
+//! * **site-clustered** ([`RegionMap::from_sites`]) — folds the topology's
+//!   per-node site/cluster assignment (metro clusters in `power_law`,
+//!   datacenters in `datacenter_wan`) into `regions` groups, so a shard's
+//!   members share low-latency intra-site paths and most traffic composed
+//!   by a shard stays inside it;
+//! * **key-space** ([`RegionMap::key_space`]) — cuts the 128-bit Pastry
+//!   identifier circle into `regions` equal arcs via [`stable_hash128`] of
+//!   the member id, for topologies with no site structure. Hash-uniform,
+//!   so region populations concentrate around `n / regions`.
+//!
+//! Both schemes are pure functions of their inputs — no RNG state — so a
+//! region map can be rebuilt anywhere (engine, bench, audit) and always
+//! shards identically.
+
+use crate::{stable_hash128, MemberId};
+
+/// A partition of `n` members into contiguous region ids `0..regions`.
+///
+/// Invariants: every member belongs to exactly one region; every region's
+/// member list is sorted ascending; region ids are dense (no gaps), though
+/// a region may be empty when `regions` exceeds the distinct site count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    region_of: Vec<u32>,
+    members: Vec<Vec<MemberId>>,
+}
+
+impl RegionMap {
+    fn from_assignment(region_of: Vec<u32>, regions: usize) -> RegionMap {
+        assert!(regions > 0, "need at least one region");
+        let mut members = vec![Vec::new(); regions];
+        for (v, &r) in region_of.iter().enumerate() {
+            members[r as usize].push(v);
+        }
+        RegionMap { region_of, members }
+    }
+
+    /// Single-region map: every member in region 0. The degenerate case
+    /// sharded admission uses to reproduce the global-view path.
+    pub fn single(n: usize) -> RegionMap {
+        Self::from_assignment(vec![0; n], 1)
+    }
+
+    /// Folds a per-node site assignment (see
+    /// `simnet::Topology::site_assignment`) into `regions` groups:
+    /// member `v` lands in region `sites[v] % regions`. With
+    /// `regions >= distinct sites` each site gets its own region;
+    /// otherwise sites are interleaved round-robin, which keeps region
+    /// sizes balanced under the generators' Zipf-skewed site sizes
+    /// better than contiguous site ranges would.
+    pub fn from_sites(sites: &[u32], regions: usize) -> RegionMap {
+        assert!(regions > 0, "need at least one region");
+        let region_of = sites.iter().map(|&s| s % regions as u32).collect();
+        Self::from_assignment(region_of, regions)
+    }
+
+    /// Cuts the 128-bit key circle into `regions` equal arcs and assigns
+    /// member `v` by which arc `stable_hash128(v)` lands in. For
+    /// topologies without site structure; hash-uniform by construction.
+    pub fn key_space(n: usize, regions: usize) -> RegionMap {
+        assert!(regions > 0, "need at least one region");
+        let region_of = (0..n)
+            .map(|v| {
+                let key = stable_hash128(&(v as u64).to_le_bytes());
+                // Arc index = floor(key / (2^128 / regions)), computed
+                // from the top 64 bits to stay in integer arithmetic:
+                // the low 64 bits cannot move a key across an arc
+                // boundary unless regions exceeds 2^64.
+                let hi = (key.0 >> 64) as u64;
+                (((hi as u128) * regions as u128) >> 64) as u32
+            })
+            .collect();
+        Self::from_assignment(region_of, regions)
+    }
+
+    /// Number of regions (including empty ones).
+    pub fn regions(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of members across all regions.
+    pub fn len(&self) -> usize {
+        self.region_of.len()
+    }
+
+    /// True when the map covers no members.
+    pub fn is_empty(&self) -> bool {
+        self.region_of.is_empty()
+    }
+
+    /// Region id of member `v`.
+    pub fn region_of(&self, v: MemberId) -> u32 {
+        self.region_of[v]
+    }
+
+    /// Members of region `r`, sorted ascending.
+    pub fn members(&self, r: usize) -> &[MemberId] {
+        &self.members[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sites_folds_round_robin() {
+        let sites: Vec<u32> = (0..32).map(|v| v % 5).collect();
+        let m = RegionMap::from_sites(&sites, 3);
+        assert_eq!(m.regions(), 3);
+        assert_eq!(m.len(), 32);
+        for v in 0..32usize {
+            assert_eq!(m.region_of(v), (v % 5) as u32 % 3);
+            assert!(m.members(m.region_of(v) as usize).contains(&v));
+        }
+        // Every member in exactly one region; lists sorted.
+        let total: usize = (0..3).map(|r| m.members(r).len()).sum();
+        assert_eq!(total, 32);
+        for r in 0..3 {
+            assert!(m.members(r).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn key_space_is_deterministic_and_roughly_balanced() {
+        let a = RegionMap::key_space(1000, 8);
+        let b = RegionMap::key_space(1000, 8);
+        assert_eq!(a, b);
+        let total: usize = (0..8).map(|r| a.members(r).len()).sum();
+        assert_eq!(total, 1000);
+        for r in 0..8 {
+            let size = a.members(r).len();
+            // Hash-uniform: each region holds 125 ± a generous slack.
+            assert!(
+                (60..=190).contains(&size),
+                "region {r} badly unbalanced: {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_region_holds_everyone() {
+        let m = RegionMap::single(17);
+        assert_eq!(m.regions(), 1);
+        assert_eq!(m.members(0).len(), 17);
+        assert!((0..17usize).all(|v| m.region_of(v) == 0));
+    }
+}

@@ -25,9 +25,13 @@
 //!    partially-updated view) is what makes the phase order-free:
 //!    item `i`'s proposal never depends on how items were scheduled.
 //!
-//! 2. **Reconcile phase (serial, submission order).** Proposals are
-//!    committed in item-index order — the fixed ordering policy
-//!    (first-submitted wins; no reordering, no priorities). Each
+//! 2. **Reconcile phase (serial, commit order).** Proposals are
+//!    committed in the order the admitter's [`OrderPolicy`] dictates —
+//!    first-submitted by default, or a weighted ordering (lightest or
+//!    heaviest requested load first, after Benoit et al.'s analysis of
+//!    admission orderings) when contended capacity should go to a
+//!    different winner than arrival order picks. The policy is a pure
+//!    function of the items, so it cannot perturb determinism. Each
 //!    proposal is checked against the *authoritative* view (base plus
 //!    every earlier winner) with the committed-rate ledger formula
 //!    (`overcommits_a_host`, the same arithmetic the engine's install
@@ -138,11 +142,125 @@ impl BatchOutcome {
 
 /// SplitMix64 (same constants as `simnet`'s jitter hash): decorrelates
 /// per-item RNG streams from the batch seed.
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
     x ^ (x >> 31)
+}
+
+/// Salt of the conflict-replay RNG stream (`"REPLAY"` in ASCII), so a
+/// replay never re-rolls its optimistic phase's random choices.
+pub(crate) const REPLAY_SALT: u64 = 0x5245504C4159;
+
+/// Which proposal wins contended capacity: the commit order of the
+/// reconcile phase. Benoit et al. (PAPERS.md) analyze how admission
+/// orderings trade throughput against fairness on heterogeneous
+/// platforms; the pipeline exposes the knob while keeping every policy a
+/// pure, deterministic function of the submitted items.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Commit in submission order — first submitted wins (the default,
+    /// and the only policy with no information about request weight).
+    #[default]
+    FirstSubmitted,
+    /// Lightest requested load (total bits/s) first, ties by submission
+    /// order: favors admitted-count, starving heavy requests last.
+    SmallestFirst,
+    /// Heaviest requested load first: a throughput-weighted priority
+    /// that lets big tenants claim contended capacity.
+    LargestFirst,
+}
+
+impl OrderPolicy {
+    /// The commit order, as indices into `items`. Always a permutation;
+    /// ties never reorder (submission index breaks them), so the order
+    /// is deterministic for any input.
+    pub(crate) fn commit_order(self, items: &[BatchItem]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        let weight = |i: usize| items[i].0.total_bits_per_sec();
+        match self {
+            OrderPolicy::FirstSubmitted => {}
+            OrderPolicy::SmallestFirst => {
+                order.sort_by(|&a, &b| weight(a).total_cmp(&weight(b)).then(a.cmp(&b)));
+            }
+            OrderPolicy::LargestFirst => {
+                order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
+            }
+        }
+        order
+    }
+
+    /// Bench/report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrderPolicy::FirstSubmitted => "first_submitted",
+            OrderPolicy::SmallestFirst => "smallest_first",
+            OrderPolicy::LargestFirst => "largest_first",
+        }
+    }
+}
+
+/// The serial validate-and-commit pass shared by the global
+/// [`BatchAdmitter`] and the region-sharded admitter: walk proposals in
+/// commit order against the authoritative `view`, apply what still fits,
+/// replay conflicts with the per-item replay RNG stream. Sharing this
+/// code (rather than re-implementing it per pipeline) is what makes the
+/// shard-count=1 pipeline digest-identical to the global one by
+/// construction: identical proposals in, identical commits out.
+pub(crate) fn reconcile_proposals(
+    view: &mut SystemView,
+    catalog: &ServiceCatalog,
+    items: &[BatchItem],
+    proposals: Vec<Result<ExecutionGraph, ComposeError>>,
+    order: &[usize],
+    seed: u64,
+    arena: &mut dyn Composer,
+) -> BatchOutcome {
+    debug_assert_eq!(items.len(), proposals.len());
+    debug_assert_eq!(items.len(), order.len());
+    let mut stats = ReconcileStats::default();
+    let mut replayed = Vec::new();
+    let mut slots: Vec<Option<Result<ExecutionGraph, ComposeError>>> =
+        proposals.into_iter().map(Some).collect();
+    for &i in order {
+        let (req, providers) = &items[i];
+        let outcome = match slots[i].take().expect("commit order is a permutation") {
+            Err(e) => {
+                // Failed against the base snapshot; the view only has
+                // less capacity now.
+                stats.optimistic_failures += 1;
+                Err(e)
+            }
+            Ok(graph) => {
+                if !overcommits_a_host(req, catalog, view, &graph) {
+                    apply_reservations(req, catalog, &graph, view);
+                    Ok(graph)
+                } else {
+                    stats.conflicts += 1;
+                    replayed.push(i);
+                    arena.forget_warm_state();
+                    let mut rng = SimRng::new(mix(seed ^ i as u64 ^ REPLAY_SALT));
+                    let r = arena.compose(req, catalog, providers, view, &mut rng);
+                    match &r {
+                        Ok(_) => stats.replayed_ok += 1,
+                        Err(_) => stats.replay_rejected += 1,
+                    }
+                    r
+                }
+            }
+        };
+        slots[i] = Some(outcome);
+    }
+    replayed.sort_unstable();
+    BatchOutcome {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every index committed exactly once"))
+            .collect(),
+        replayed,
+        stats,
+    }
 }
 
 /// The batch admission pipeline. Owns a pool of worker arenas
@@ -150,6 +268,7 @@ fn mix(mut x: u64) -> u64 {
 /// flow networks inside retained buffers instead of allocating them.
 pub struct BatchAdmitter {
     threads: usize,
+    order: OrderPolicy,
     factory: Box<dyn Fn() -> Box<dyn Composer + Send> + Send + Sync>,
     arenas: Mutex<Vec<Box<dyn Composer + Send>>>,
     /// Worker copies of base snapshots from previous batches (at most one
@@ -179,6 +298,7 @@ impl BatchAdmitter {
         assert!(threads > 0, "thread count must be positive");
         BatchAdmitter {
             threads,
+            order: OrderPolicy::default(),
             factory: Box::new(factory),
             arenas: Mutex::new(Vec::new()),
             views: Mutex::new(Vec::new()),
@@ -188,6 +308,12 @@ impl BatchAdmitter {
     /// A default-configuration admitter over `kind` composers.
     pub fn for_kind(threads: usize, kind: ComposerKind) -> Self {
         Self::new(threads, move || kind.build())
+    }
+
+    /// Replaces the commit-ordering policy (default: first submitted).
+    pub fn with_order(mut self, order: OrderPolicy) -> Self {
+        self.order = order;
+        self
     }
 
     fn take_arena(&self) -> Box<dyn Composer + Send> {
@@ -256,47 +382,22 @@ impl BatchAdmitter {
             .unwrap()
             .append(&mut synced.into_inner().unwrap());
 
-        // Serial reconcile, submission order: first proposal wins its
-        // capacity; later conflicting proposals replay against what is
-        // actually left.
-        let mut stats = ReconcileStats::default();
-        let mut replayed = Vec::new();
-        let mut results = Vec::with_capacity(items.len());
+        // Serial reconcile in the policy's commit order: the first
+        // committed proposal wins its capacity; later conflicting
+        // proposals replay against what is actually left.
+        let order = self.order.commit_order(items);
         let mut arena = self.take_arena();
-        for (i, ((req, providers), proposal)) in items.iter().zip(proposals).enumerate() {
-            let outcome = match proposal {
-                Err(e) => {
-                    // Failed against the base snapshot; the view only
-                    // has less capacity now.
-                    stats.optimistic_failures += 1;
-                    Err(e)
-                }
-                Ok(graph) => {
-                    if !overcommits_a_host(req, catalog, view, &graph) {
-                        apply_reservations(req, catalog, &graph, view);
-                        Ok(graph)
-                    } else {
-                        stats.conflicts += 1;
-                        replayed.push(i);
-                        arena.forget_warm_state();
-                        let mut rng = SimRng::new(mix(seed ^ i as u64 ^ 0x5245504C4159));
-                        let r = arena.compose(req, catalog, providers, view, &mut rng);
-                        match &r {
-                            Ok(_) => stats.replayed_ok += 1,
-                            Err(_) => stats.replay_rejected += 1,
-                        }
-                        r
-                    }
-                }
-            };
-            results.push(outcome);
-        }
+        let outcome = reconcile_proposals(
+            view,
+            catalog,
+            items,
+            proposals,
+            &order,
+            seed,
+            arena.as_mut(),
+        );
         self.put_arena(arena);
-        BatchOutcome {
-            results,
-            replayed,
-            stats,
-        }
+        outcome
     }
 }
 
@@ -387,6 +488,51 @@ mod tests {
         let mut v2 = view.clone();
         let out2 = mincost_admitter(3).admit_batch(&mut v2, &catalog, &items, 1);
         assert_eq!(out.digest(), out2.digest());
+    }
+
+    #[test]
+    fn order_policy_decides_the_contention_winner() {
+        // One provider host at 1 Mbps (~122 du/s per direction); a
+        // 60 du/s and an 80 du/s request each fit alone, never together.
+        let catalog = ServiceCatalog::synthetic(1, 3);
+        let view = SystemView::fresh(&Topology::uniform(
+            4,
+            1_000_000.0,
+            SimDuration::from_millis(5),
+        ));
+        let mut providers = ProviderMap::new();
+        providers.insert(0, vec![1]);
+        let items: Vec<BatchItem> = [60.0, 80.0]
+            .iter()
+            .map(|&r| (ServiceRequest::chain(&[0], r, 0, 3), providers.clone()))
+            .collect();
+        let run = |policy: OrderPolicy| {
+            let mut v = view.clone();
+            let out = mincost_admitter(2)
+                .with_order(policy)
+                .admit_batch(&mut v, &catalog, &items, 5);
+            (out.results[0].is_ok(), out.results[1].is_ok(), out)
+        };
+        // Submission order and lightest-first both admit the 60 du/s
+        // request; heaviest-first hands the host to the 80 du/s one.
+        assert_eq!(
+            (true, false),
+            (
+                run(OrderPolicy::FirstSubmitted).0,
+                run(OrderPolicy::FirstSubmitted).1
+            )
+        );
+        assert_eq!(
+            (true, false),
+            (
+                run(OrderPolicy::SmallestFirst).0,
+                run(OrderPolicy::SmallestFirst).1
+            )
+        );
+        let (big0, big1, out) = run(OrderPolicy::LargestFirst);
+        assert_eq!((false, true), (big0, big1));
+        assert_eq!(out.stats.conflicts, 1);
+        assert_eq!(out.stats.replay_rejected, 1);
     }
 
     #[test]

@@ -25,12 +25,14 @@ mod cache;
 mod greedy;
 mod mincost;
 mod random;
+mod shard;
 mod single;
 
-pub use batch::{BatchAdmitter, BatchItem, BatchOutcome, ReconcileStats};
+pub use batch::{BatchAdmitter, BatchItem, BatchOutcome, OrderPolicy, ReconcileStats};
 pub use greedy::GreedyComposer;
 pub use mincost::{CandidateSelection, LatencyMatrix, MinCostComposer};
 pub use random::RandomComposer;
+pub use shard::{ShardOutcome, ShardedAdmitter};
 
 use crate::model::{ExecutionGraph, ServiceCatalog, ServiceId, ServiceRequest};
 use crate::view::SystemView;

@@ -128,6 +128,46 @@ fn injected_capacity_conflicts_force_replays_and_stay_deterministic() {
     );
 }
 
+#[test]
+fn every_order_policy_is_deterministic_across_worker_counts() {
+    use rasc_core::compose::OrderPolicy;
+    for policy in [
+        OrderPolicy::FirstSubmitted,
+        OrderPolicy::SmallestFirst,
+        OrderPolicy::LargestFirst,
+    ] {
+        for seed in [9u64, 23] {
+            let topo = Topology::power_law(96, kbps(300.0), kbps(2500.0), seed);
+            let base = SystemView::fresh(&topo);
+            let catalog = ServiceCatalog::synthetic(5, seed);
+            let items = random_items(96, 24, 5, seed);
+            let mut reference = None;
+            for threads in [1usize, 3, 6] {
+                let mut view = base.clone();
+                let out = admitter(threads, Some(8))
+                    .with_order(policy)
+                    .admit_batch(&mut view, &catalog, &items, seed);
+                let digest = out.digest();
+                match &reference {
+                    None => reference = Some((digest, view, out)),
+                    Some((d, v, o)) => {
+                        assert_eq!(
+                            *d, digest,
+                            "{policy:?} digest diverged at {threads} workers (seed {seed})"
+                        );
+                        assert!(
+                            *v == view,
+                            "{policy:?} ledger diverged at {threads} workers (seed {seed})"
+                        );
+                        assert_eq!(o.replayed, out.replayed, "{policy:?} replay set diverged");
+                        assert_eq!(o.stats, out.stats, "{policy:?} reconcile stats diverged");
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn batch_engine(n: usize, seed: u64, audit: bool) -> Engine {
     let catalog = ServiceCatalog::synthetic(4, seed);
     let topo = Topology::power_law(n, kbps(400.0), kbps(3000.0), seed);

@@ -41,6 +41,16 @@ cargo test -q -p mincostflow --test basis_equivalence
 # an index or reconcile change can never slip past verification.
 cargo test -q -p rasc-core --test view_index_equivalence --test batch_determinism
 
+# Region-sharded admission equivalences: (a) a one-shard sharded
+# pipeline must be digest-identical to the global batch pipeline (both
+# standalone and through Engine::submit_batch), and multi-shard
+# outcomes must be deterministic across worker counts; (b) replay
+# losers rolled back mid-transaction on digest-patched views must
+# leave the ledger and capacity index bit-equal to base + admitted
+# reservations. Named so a shard-routing, digest, or reconcile change
+# can never slip past verification.
+cargo test -q -p rasc-core --test shard_equivalence --test shard_rollback
+
 # Microbenchmark smoke run: small fixed-seed iterations; exercises the
 # compose/solver hot paths, the data plane, and the batch-admission
 # pipeline (including the steady-state allocation asserts) without
@@ -60,6 +70,12 @@ cargo test -q -p rasc-core --test view_index_equivalence --test batch_determinis
 # overhead, not scaling), and when the *current* box has one CPU, every
 # pooled/parallel entry measures overhead too — comparing either against
 # a multicore reference would warn about the hardware, not the code.
+# Entries now carry an explicit per-measurement "threads" field (the
+# effective desim::pool worker count), so the skip derives from the
+# JSON itself; the name regex stays as a fallback for older committed
+# files without the field. The admission/sharded_* units/s entries need
+# no new rule — the inverted units/s tripwire above already keys off
+# the ^admission/ prefix.
 BENCH_OUT=$(mktemp)
 cargo run --release -q --bin repro -- bench --quick | tee "$BENCH_OUT"
 CORES=$(nproc 2>/dev/null || echo 1)
@@ -74,13 +90,21 @@ if [ -f BENCH_compose.json ]; then
         base[q[4]] = v + 0
         unit[q[4]] = q[8]
         if ($0 ~ /"note": "ap1"/) ap1[q[4]] = 1
+        if ($0 ~ /"threads": /) {
+          t = $0
+          sub(/.*"threads": /, "", t)
+          sub(/[,}].*/, "", t)
+          thr[q[4]] = t + 0
+        }
       }
       next
     }
     function scaling_skip(name) {
       # Skip parallel-scaling comparisons when either side of the diff
-      # ran on a 1-core box.
+      # ran on a 1-core box. The committed "threads" field is the
+      # authoritative signal; the name regex is the legacy fallback.
       if (ap1[name]) return 1
+      if (cores + 0 <= 1 && thr[name] + 0 > 1) return 1
       if (cores + 0 <= 1 && name ~ /(pooled|parallel)/) return 1
       return 0
     }
